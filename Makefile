@@ -1,0 +1,37 @@
+# tcpdemux build targets. Everything is pure Go with no dependencies;
+# these targets just name the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel ./internal/engine
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzz pass over the wire parsers (CI-sized; raise -fuzztime locally).
+fuzz:
+	$(GO) test -fuzz=FuzzParseSegment -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzExtractTuple -fuzztime=30s ./internal/wire
+
+figures:
+	$(GO) run ./cmd/figures -fig 4
+	$(GO) run ./cmd/figures -fig 13
+	$(GO) run ./cmd/figures -fig 14
+	$(GO) run ./cmd/figures -fig 15
+
+clean:
+	$(GO) clean ./...

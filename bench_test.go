@@ -1,0 +1,592 @@
+// Package tcpdemux holds the repo-level benchmark harness: one benchmark
+// per figure and per quoted result of McKenney & Dove 1992, plus the
+// ablation benches DESIGN.md calls out. Each bench reports the paper's
+// figure of merit — PCBs examined per inbound packet — via ReportMetric
+// ("PCBs/pkt") next to ordinary ns/op wall-clock costs.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The EXPERIMENTS.md tables are regenerated from these benches and the
+// cmd/analytic, cmd/demuxsim and cmd/figures tools.
+package tcpdemux
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tcpdemux/internal/analytic"
+	"tcpdemux/internal/cachesim"
+	"tcpdemux/internal/churn"
+	"tcpdemux/internal/connid"
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/parallel"
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/stats"
+	"tcpdemux/internal/tpca"
+	"tcpdemux/internal/trains"
+	"tcpdemux/internal/wire"
+)
+
+// paperN is the paper's running example: 2,000 users (200 TPC/A TPS).
+const paperN = 2000
+
+// tpcaCfg is the paper's reference configuration.
+func tpcaCfg(n int, seed uint64) tpca.Config {
+	return tpca.Config{
+		Users: n, ResponseTime: 0.2, RTT: 0.001, Seed: seed,
+		// Three warm-up transactions per user lets the list orders reach
+		// steady state (MTF in particular); two measured per user keeps
+		// the slowest case (BSD at N=2000: ~8M key comparisons) inside a
+		// benchmark iteration.
+		WarmupTxns: 3 * n, MeasuredTxns: 2 * n,
+	}
+}
+
+// runTPCA executes one simulation run and reports PCBs/packet.
+func runTPCA(b *testing.B, algo string, n int, chains int) {
+	b.Helper()
+	var last *tpca.Result
+	for i := 0; i < b.N; i++ {
+		d, err := core.New(algo, core.Config{Chains: chains})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tpca.Run(d, tpcaCfg(n, uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Overall.Mean(), "PCBs/pkt")
+	b.ReportMetric(last.Txn.Mean(), "PCBs/txn")
+	b.ReportMetric(last.Ack.Mean(), "PCBs/ack")
+	b.ReportMetric(last.CacheHitRate*100, "hit%")
+}
+
+// --- EXP-3.1: BSD under TPC/A (paper: 1,001 PCBs, hit rate 0.05%) ------------
+
+func BenchmarkFigBSD(b *testing.B) {
+	runTPCA(b, "bsd", paperN, 0)
+}
+
+// --- EXP-3.2: Crowcroft MTF (paper: 549/618/724/904 overall) -----------------
+
+func BenchmarkFigMTF(b *testing.B) {
+	for _, r := range []float64{0.2, 0.5, 1.0, 2.0} {
+		r := r
+		b.Run(fmt.Sprintf("R=%.1f", r), func(b *testing.B) {
+			var last *tpca.Result
+			for i := 0; i < b.N; i++ {
+				cfg := tpcaCfg(paperN, uint64(i)+1)
+				cfg.ResponseTime = r
+				d := core.NewMTFList()
+				res, err := tpca.Run(d, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Overall.Mean(), "PCBs/pkt")
+			b.ReportMetric(analytic.Crowcroft(analytic.Params{N: paperN, R: r})+1, "model")
+		})
+	}
+}
+
+// --- EXP-3.3: SR cache (paper: 667/993/1002 for D = 1/10/100 ms) -------------
+
+func BenchmarkFigSR(b *testing.B) {
+	for _, d := range []float64{0.001, 0.010, 0.100} {
+		d := d
+		b.Run(fmt.Sprintf("D=%.0fms", d*1000), func(b *testing.B) {
+			var last *tpca.Result
+			for i := 0; i < b.N; i++ {
+				cfg := tpcaCfg(paperN, uint64(i)+1)
+				cfg.RTT = d
+				demux := core.NewSRCache()
+				res, err := tpca.Run(demux, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Overall.Mean(), "PCBs/pkt")
+			b.ReportMetric(analytic.SR(analytic.Params{N: paperN, R: 0.2, D: d}), "model")
+		})
+	}
+}
+
+// --- EXP-3.4: Sequent (paper: 53.0 at H=19; < 9 at H=100) --------------------
+
+func BenchmarkFigSequent(b *testing.B) {
+	for _, h := range []int{19, 51, 100} {
+		h := h
+		b.Run(fmt.Sprintf("H=%d", h), func(b *testing.B) {
+			var last *tpca.Result
+			for i := 0; i < b.N; i++ {
+				d := core.NewSequentHash(h, nil)
+				res, err := tpca.Run(d, tpcaCfg(paperN, uint64(i)+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			model, err := analytic.Sequent(analytic.Params{N: paperN, R: 0.2, H: h})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(last.Overall.Mean(), "PCBs/pkt")
+			b.ReportMetric(model, "model")
+			b.ReportMetric(last.CacheHitRate*100, "hit%")
+		})
+	}
+}
+
+// --- FIG-4: N(T) curve ---------------------------------------------------------
+
+func BenchmarkFig4(b *testing.B) {
+	var pts []analytic.Point
+	for i := 0; i < b.N; i++ {
+		pts = analytic.Figure4(paperN, 50, 101)
+	}
+	b.ReportMetric(pts[len(pts)-1].Y, "N(50s)")
+	b.ReportMetric(pts[20].Y, "N(10s)")
+}
+
+// --- FIG-13 / FIG-14: comparison curves ------------------------------------------
+
+func BenchmarkFig13(b *testing.B) {
+	var series []analytic.Series
+	for i := 0; i < b.N; i++ {
+		series = analytic.Figure13()
+	}
+	// Report the right edge of the figure: costs at N=10,000.
+	for _, s := range series {
+		b.ReportMetric(s.Points[len(s.Points)-1].Y, strings.ReplaceAll(s.Label, " ", "_")+"@10k")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	var series []analytic.Series
+	for i := 0; i < b.N; i++ {
+		series = analytic.Figure14()
+	}
+	for _, s := range series {
+		b.ReportMetric(s.Points[len(s.Points)-1].Y, strings.ReplaceAll(s.Label, " ", "_")+"@1k")
+	}
+}
+
+// --- EXP-PT: packet trains (abstract's "still maintaining good performance") ----
+
+func BenchmarkTrains(b *testing.B) {
+	cfg := trains.Config{Connections: 8, MeanTrainLen: 20, Segments: 40000}
+	for _, algo := range []string{"bsd", "sr", "sequent", "map"} {
+		algo := algo
+		b.Run(algo, func(b *testing.B) {
+			var last *trains.Result
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Seed = uint64(i) + 1
+				d, err := core.New(algo, core.Config{Chains: 19})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := trains.Run(d, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Examined.Mean(), "PCBs/pkt")
+			b.ReportMetric(last.CacheHitRate*100, "hit%")
+		})
+	}
+}
+
+// --- EXP-POS: deterministic think time (MTF worst case) --------------------------
+
+func BenchmarkPolling(b *testing.B) {
+	for _, algo := range []string{"bsd", "mtf", "sequent"} {
+		algo := algo
+		b.Run(algo, func(b *testing.B) {
+			var last *tpca.Result
+			for i := 0; i < b.N; i++ {
+				cfg := tpcaCfg(500, uint64(i)+1)
+				cfg.Think = rng.ConstDist{V: tpca.DefaultThinkMean}
+				d, err := core.New(algo, core.Config{Chains: 19})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tpca.Run(d, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Txn.Mean(), "PCBs/txn")
+			b.ReportMetric(last.Overall.Mean(), "PCBs/pkt")
+		})
+	}
+}
+
+// --- EXP-HASH: hash function quality ([Jai89] context) ----------------------------
+
+func BenchmarkHash(b *testing.B) {
+	tuples := hashfn.SequentialClients(paperN)
+	for _, f := range hashfn.All() {
+		f := f
+		b.Run(f.Name(), func(b *testing.B) {
+			var h uint32
+			for i := 0; i < b.N; i++ {
+				h ^= f.Hash(tuples[i%len(tuples)])
+			}
+			_ = h
+			counts := hashfn.ChainCounts(f, tuples, 19)
+			b.ReportMetric(stats.CoefficientOfVariation(counts), "chainCV")
+		})
+	}
+}
+
+// --- EXP-MEM: figure-of-merit claim (examined tracks memory stalls) ----------------
+
+func BenchmarkMemModel(b *testing.B) {
+	const lookups = 2000
+	b.Run("bsd", func(b *testing.B) {
+		var cost cachesim.LookupCost
+		for i := 0; i < b.N; i++ {
+			m, err := cachesim.NewModel(cachesim.Era1992, paperN, uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = cachesim.BSDLookups(m, paperN, lookups, uint64(i)+7)
+		}
+		b.ReportMetric(float64(cost.Examined), "PCBs/pkt")
+		b.ReportMetric(cost.Cycles, "modelCycles/pkt")
+	})
+	b.Run("sequent", func(b *testing.B) {
+		var cost cachesim.LookupCost
+		for i := 0; i < b.N; i++ {
+			m, err := cachesim.NewModel(cachesim.Era1992, paperN, uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = cachesim.SequentLookups(m, paperN, 19, lookups, uint64(i)+7)
+		}
+		b.ReportMetric(float64(cost.Examined), "PCBs/pkt")
+		b.ReportMetric(cost.Cycles, "modelCycles/pkt")
+	})
+}
+
+// --- EXP-COMBO: MTF-in-chains vs more chains vs connection IDs (§3.5) ---------------
+
+func BenchmarkCombo(b *testing.B) {
+	cases := []struct {
+		name   string
+		algo   string
+		chains int
+	}{
+		{"sequent-19", "sequent", 19},
+		{"mtf-hash-19", "mtf-hash", 19},
+		{"sequent-100", "sequent", 100},
+		{"auto-sequent", "auto-sequent", 0},
+		{"direct-index", "direct-index", 0},
+		{"map", "map", 0},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var last *tpca.Result
+			for i := 0; i < b.N; i++ {
+				d, err := core.New(c.algo, core.Config{Chains: c.chains})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tpca.Run(d, tpcaCfg(paperN, uint64(i)+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Overall.Mean(), "PCBs/pkt")
+		})
+	}
+}
+
+// --- wall-clock micro-benchmarks: actual lookup latency ------------------------------
+
+// BenchmarkLookup measures real ns/op per lookup at the paper's population,
+// steady-state uniform targets — the quantity the paper's "surrogate for
+// time" argument maps examined counts onto.
+func BenchmarkLookup(b *testing.B) {
+	for _, algo := range core.Algorithms() {
+		algo := algo
+		b.Run(algo, func(b *testing.B) {
+			d, err := core.New(algo, core.Config{Chains: 19})
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]core.Key, paperN)
+			for i := range keys {
+				keys[i] = tpca.UserKey(i)
+				if err := d.Insert(core.NewPCB(keys[i])); err != nil {
+					b.Fatal(err)
+				}
+			}
+			src := rng.New(1)
+			order := make([]int, 8192)
+			for i := range order {
+				order[i] = src.Intn(paperN)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Lookup(keys[order[i%len(order)]], core.DirData)
+			}
+			b.ReportMetric(d.Stats().MeanExamined(), "PCBs/pkt")
+		})
+	}
+}
+
+// BenchmarkWireDemux measures the full receive fast path: raw frame →
+// tuple extraction → hashed lookup, the end-to-end cost a driver would see.
+func BenchmarkWireDemux(b *testing.B) {
+	d := core.NewSequentHash(19, nil)
+	frames := make([][]byte, 512)
+	for i := range frames {
+		k := tpca.UserKey(i)
+		if err := d.Insert(core.NewPCB(k)); err != nil {
+			b.Fatal(err)
+		}
+		t := k.Tuple()
+		frame, err := wire.BuildSegment(
+			wire.IPv4Header{TTL: 64, Src: t.SrcAddr, Dst: t.DstAddr},
+			wire.TCPHeader{SrcPort: t.SrcPort, DstPort: t.DstPort, Flags: wire.FlagACK},
+			nil,
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = frame
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuple, err := wire.ExtractTuple(frames[i%len(frames)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := d.Lookup(core.KeyFromTuple(tuple), core.DirAck); r.PCB == nil {
+			b.Fatal("lost a PCB")
+		}
+	}
+}
+
+// --- EXP-PAR: parallel demultiplexing (the [Dov90] context) --------------------------
+
+// BenchmarkParallel measures lookup throughput under goroutine load:
+// a single global lock around the BSD list (what a shared linear list
+// forces) versus the Sequent table with one lock per hash chain — the
+// design Sequent's parallel STREAMS TCP shipped. Run with -cpu 1,4,8 to
+// see the scaling gap.
+func BenchmarkParallel(b *testing.B) {
+	const n = 1000
+	cases := []struct {
+		name  string
+		build func() parallel.ConcurrentDemuxer
+	}{
+		{"locked-bsd", func() parallel.ConcurrentDemuxer { return parallel.NewLocked(core.NewBSDList()) }},
+		{"locked-sequent", func() parallel.ConcurrentDemuxer { return parallel.NewLocked(core.NewSequentHash(19, nil)) }},
+		{"sharded-sequent-19", func() parallel.ConcurrentDemuxer { return parallel.NewShardedSequent(19, nil) }},
+		{"sharded-sequent-128", func() parallel.ConcurrentDemuxer { return parallel.NewShardedSequent(128, nil) }},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			d := c.build()
+			keys := make([]core.Key, n)
+			for i := range keys {
+				keys[i] = tpca.UserKey(i)
+				if err := d.Insert(core.NewPCB(keys[i])); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				src := rng.New(uint64(42))
+				for pb.Next() {
+					if r := d.Lookup(keys[src.Intn(n)], core.DirData); r.PCB == nil {
+						b.Fatal("lost a PCB")
+					}
+				}
+			})
+		})
+	}
+}
+
+// --- EXP-CONNID: protocol connection IDs vs hashing (§3.5) ---------------------------
+
+// BenchmarkConnID compares full receive paths at the paper's population:
+// the TP4-style option scan + array index against tuple extraction +
+// hashed lookup. §3.5's argument — "the much cheaper search provided by
+// hashing eliminates the motivation for connection IDs" — holds if the
+// wall-clock gap here is small.
+func BenchmarkConnID(b *testing.B) {
+	const n = paperN
+	makeFrame := func(i int, withID func(i int) []wire.TCPOption) []byte {
+		k := tpca.UserKey(i)
+		tu := k.Tuple()
+		tcp := wire.TCPHeader{
+			SrcPort: tu.SrcPort, DstPort: tu.DstPort, Flags: wire.FlagACK | wire.FlagPSH,
+		}
+		if withID != nil {
+			tcp.Options = withID(i)
+		}
+		frame, err := wire.BuildSegment(
+			wire.IPv4Header{TTL: 64, Src: tu.SrcAddr, Dst: tu.DstAddr}, tcp, []byte("q"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return frame
+	}
+
+	b.Run("connid-option", func(b *testing.B) {
+		tbl := connid.NewTable()
+		ids := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			_, id, err := tbl.Open(tpca.UserKey(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[i] = id
+		}
+		frames := make([][]byte, 512)
+		for i := range frames {
+			frames[i] = makeFrame(i, func(i int) []wire.TCPOption {
+				return []wire.TCPOption{connid.Option(ids[i])}
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tbl.DemuxFrame(frames[i%len(frames)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, algo := range []string{"sequent", "map"} {
+		algo := algo
+		b.Run("tuple-"+algo, func(b *testing.B) {
+			d, err := core.New(algo, core.Config{Chains: 19})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if err := d.Insert(core.NewPCB(tpca.UserKey(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			frames := make([][]byte, 512)
+			for i := range frames {
+				frames[i] = makeFrame(i, nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tu, err := wire.ExtractTuple(frames[i%len(frames)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r := d.Lookup(core.KeyFromTuple(tu), core.DirData); r.PCB == nil {
+					b.Fatal("lost a PCB")
+				}
+			}
+		})
+	}
+}
+
+// --- EXP-CHURN: connection turnover with TIME_WAIT linger ------------------------------
+
+func BenchmarkChurn(b *testing.B) {
+	for _, algo := range []string{"bsd", "sequent", "map"} {
+		algo := algo
+		b.Run(algo, func(b *testing.B) {
+			var last *churn.Result
+			for i := 0; i < b.N; i++ {
+				d, err := core.New(algo, core.Config{Chains: 19})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := churn.Run(d, churn.Config{
+					Sessions: 200, MeasuredSessions: 1000, Seed: uint64(i) + 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Examined.Mean(), "PCBs/pkt")
+			b.ReportMetric(last.Population.Mean(), "PCBs-total")
+			b.ReportMetric(last.TimeWait.Mean(), "PCBs-timewait")
+		})
+	}
+}
+
+// --- wire-level simulation overhead ---------------------------------------------------
+
+// BenchmarkWireLevelSim compares the simulation driving lookups from its
+// in-memory keys against the wire-level mode that serializes and re-parses
+// real frames — the cost of the receive fast path at workload scale.
+func BenchmarkWireLevelSim(b *testing.B) {
+	for _, wireLevel := range []bool{false, true} {
+		name := "fastpath"
+		if wireLevel {
+			name = "wire"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := tpcaCfg(500, uint64(i)+1)
+				cfg.WireLevel = wireLevel
+				d := core.NewSequentHash(19, nil)
+				if _, err := tpca.Run(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- auto-resizing table growth (automating the §3.5 sizing knob) ---------------------
+
+// BenchmarkAutoSequentGrowth measures steady-state lookup cost at growing
+// populations: the fixed 19-chain table degrades linearly in N while the
+// auto-resizing table holds its bound.
+func BenchmarkAutoSequentGrowth(b *testing.B) {
+	for _, n := range []int{500, 2000, 8000} {
+		n := n
+		for _, algo := range []string{"sequent", "auto-sequent"} {
+			algo := algo
+			b.Run(fmt.Sprintf("%s/N=%d", algo, n), func(b *testing.B) {
+				d, err := core.New(algo, core.Config{Chains: 19})
+				if err != nil {
+					b.Fatal(err)
+				}
+				keys := make([]core.Key, n)
+				for i := range keys {
+					keys[i] = tpca.UserKey(i)
+					if err := d.Insert(core.NewPCB(keys[i])); err != nil {
+						b.Fatal(err)
+					}
+				}
+				src := rng.New(9)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d.Lookup(keys[src.Intn(n)], core.DirData)
+				}
+				b.ReportMetric(d.Stats().MeanExamined(), "PCBs/pkt")
+			})
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command analytic evaluates the paper's closed-form model and prints
+// every numeric result quoted in sections 3.1–3.5 of McKenney & Dove,
+// "Efficient Demultiplexing of Incoming TCP Packets" (1992), side by side
+// with the values the paper reports.
+//
+// Usage:
+//
+//	analytic [-n users] [-r response] [-d rtt] [-chains n]
+//
+// With no flags it reproduces the paper's running example (a 200 TPC/A TPS
+// benchmark: 2,000 users).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tcpdemux/internal/analytic"
+)
+
+func main() {
+	var (
+		users  = flag.Int("n", 2000, "number of TPC/A users (connections)")
+		resp   = flag.Float64("r", 0.2, "response time R in seconds")
+		rtt    = flag.Float64("d", 0.001, "network round-trip D in seconds")
+		chains = flag.Int("chains", 19, "Sequent hash chain count H")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *users, *resp, *rtt, *chains); err != nil {
+		fmt.Fprintln(os.Stderr, "analytic:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, users int, resp, rtt float64, chains int) error {
+	p := analytic.Params{N: users, R: resp, D: rtt, H: chains}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	isPaper := users == 2000
+
+	fmt.Fprintf(w, "TCP demultiplexing cost model — N=%d users, R=%gs, D=%gs, H=%d chains, a=%g txn/s\n\n",
+		users, resp, rtt, chains, analytic.DefaultRate)
+
+	note := func(paper string) string {
+		if isPaper {
+			return "  (paper: " + paper + ")"
+		}
+		return ""
+	}
+
+	fmt.Fprintln(w, "§3.1 BSD — linear list + one-entry cache")
+	fmt.Fprintf(w, "  expected PCBs examined (Eq 1):  %8.1f%s\n", analytic.BSD(users), note("1,001"))
+	fmt.Fprintf(w, "  cache hit rate 1/N:             %8.4f%%%s\n", analytic.BSDHitRate(users)*100, note("0.05%"))
+	fmt.Fprintf(w, "  packet-train probability:       %8.3g%s\n", analytic.BSDTrainProb(p), note("1.9e-35; printed \"1.9e-3\", exponent truncated"))
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "§3.2 Crowcroft — move-to-front list (PCBs preceding the target)")
+	fmt.Fprintf(w, "  %8s %12s %12s %12s\n", "R (s)", "entry", "ack", "overall")
+	paperMTF := map[float64][3]float64{0.2: {1019, 78, 549}, 0.5: {1045, 190, 618}, 1.0: {1086, 362, 724}, 2.0: {1150, 659, 904}}
+	for _, r := range []float64{0.2, 0.5, 1.0, 2.0} {
+		pr := analytic.Params{N: users, R: r}
+		line := fmt.Sprintf("  %8.1f %12.1f %12.1f %12.1f", r,
+			analytic.CrowcroftEntry(pr), analytic.CrowcroftAck(pr), analytic.Crowcroft(pr))
+		if isPaper {
+			want := paperMTF[r]
+			line += fmt.Sprintf("   (paper: %.0f / %.0f / %.0f)", want[0], want[1], want[2])
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "  deterministic think time scans  %8.0f PCBs per entry%s\n",
+		analytic.CrowcroftDeterministic(users), note("all 2,000"))
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "§3.3 Partridge/Pink — last-sent/last-received cache")
+	fmt.Fprintf(w, "  %8s %10s %10s %10s %12s\n", "D (ms)", "N1", "N2", "Na", "overall")
+	paperSR := map[float64]float64{0.001: 667, 0.010: 993, 0.100: 1002}
+	for _, d := range []float64{0.001, 0.010, 0.100} {
+		pd := analytic.Params{N: users, R: resp, D: d}
+		line := fmt.Sprintf("  %8.0f %10.1f %10.1f %10.1f %12.1f",
+			d*1000, analytic.SRN1(pd), analytic.SRN2(pd), analytic.SRNa(pd), analytic.SR(pd))
+		if isPaper {
+			line += fmt.Sprintf("   (paper: %.0f)", paperSR[d])
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "§3.4 Sequent — hash chains with per-chain caches")
+	approx, err := analytic.SequentApprox(p)
+	if err != nil {
+		return err
+	}
+	exact, err := analytic.Sequent(p)
+	if err != nil {
+		return err
+	}
+	surv, err := analytic.SequentSurvival(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  approximation C_BSD(N/H) (Eq 19): %8.1f%s\n", approx, note("53.6"))
+	fmt.Fprintf(w, "  exact model (Eq 22):              %8.1f%s\n", exact, note("53.0"))
+	fmt.Fprintf(w, "  cache survival prob (Eq 20):      %8.2f%%%s\n", surv*100, note("≈1.5%"))
+	for _, h := range []int{51, 100} {
+		ph := analytic.Params{N: users, R: resp, H: h}
+		e, err := analytic.Sequent(ph)
+		if err != nil {
+			return err
+		}
+		s, err := analytic.SequentSurvival(ph)
+		if err != nil {
+			return err
+		}
+		extra := ""
+		if isPaper && h == 51 {
+			extra = "  (paper: ≈21%)"
+		}
+		if isPaper && h == 100 {
+			extra = "  (paper: < 9 PCBs)"
+		}
+		fmt.Fprintf(w, "  H=%-3d: cost %6.1f  survival %6.2f%%%s\n", h, e, s*100, extra)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "§3.5 comparison at these parameters")
+	fmt.Fprintf(w, "  %-22s %10s\n", "algorithm", "PCBs/packet")
+	fmt.Fprintf(w, "  %-22s %10.1f\n", "BSD", analytic.BSD(users))
+	fmt.Fprintf(w, "  %-22s %10.1f\n", "Crowcroft MTF", analytic.Crowcroft(p))
+	fmt.Fprintf(w, "  %-22s %10.1f\n", "SR cache", analytic.SR(p))
+	fmt.Fprintf(w, "  %-22s %10.1f\n", fmt.Sprintf("Sequent (H=%d)", chains), exact)
+	fmt.Fprintf(w, "  Sequent advantage over BSD: %.1fx\n", analytic.BSD(users)/exact)
+	return nil
+}

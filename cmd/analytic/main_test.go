@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPaperDefaults(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 2000, 0.2, 0.001, 19); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The headline numbers the paper quotes must appear verbatim.
+	for _, want := range []string{
+		"1001.0",                  // BSD Eq 1
+		"0.0500",                  // hit rate %
+		"1018.9", "78.4", "548.6", // Crowcroft R=0.2
+		"1149.8", "659.0", "904.4", // Crowcroft R=2.0
+		"666.6", "993.2", "1002.4", // SR overalls
+		"53.6", "53.0", // Sequent approx/exact
+		"(paper: 1,001)", // annotation present at N=2000
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunNonPaperOmitsAnnotations(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 100, 0.2, 0.001, 19); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "(paper:") {
+		t.Error("paper annotations printed for non-paper N")
+	}
+}
+
+func TestRunValidatesParams(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0, 0.2, 0.001, 19); err == nil {
+		t.Fatal("invalid N accepted")
+	}
+	if err := run(&b, 100, -1, 0.001, 19); err == nil {
+		t.Fatal("negative R accepted")
+	}
+}

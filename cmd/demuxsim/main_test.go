@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTPCA(t *testing.T) {
+	var b strings.Builder
+	err := run(&b, "tpca", []string{"bsd", "sequent"}, 100, 0.2, 0.001, 19, 5, 1, "", "multiplicative", "tpca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"bsd", "sequent-19", "workload=tpca", "model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPolling(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "polling", []string{"mtf"}, 50, 0.2, 0.001, 19, 3, 1, "", "multiplicative", "tpca"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(entry)") {
+		t.Errorf("polling output missing deterministic MTF model:\n%s", b.String())
+	}
+}
+
+func TestRunTrains(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "trains", []string{"bsd"}, 4, 0, 0, 19, 2, 1, "", "multiplicative", "tpca"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "workload=trains") {
+		t.Errorf("trains output wrong:\n%s", b.String())
+	}
+}
+
+func TestRunUnknownWorkloadAndAlgo(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "bogus", []string{"bsd"}, 10, 0.2, 0, 19, 1, 1, "", "multiplicative", "tpca"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run(&b, "tpca", []string{"bogus"}, 10, 0.2, 0, 19, 1, 1, "", "multiplicative", "tpca"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	var b strings.Builder
+	if err := run(&b, "tpca", []string{"sequent"}, 50, 0.2, 0.001, 19, 4, 1, path, "multiplicative", "tpca"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "recorded") {
+		t.Fatalf("no record confirmation:\n%s", b.String())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	var rb strings.Builder
+	if err := runReplay(&rb, path, []string{"bsd", "map"}, 19, "multiplicative"); err != nil {
+		t.Fatal(err)
+	}
+	out := rb.String()
+	if !strings.Contains(out, "bsd") || !strings.Contains(out, "map") {
+		t.Fatalf("replay output wrong:\n%s", out)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	var b strings.Builder
+	if err := runReplay(&b, "/nonexistent/trace", []string{"bsd"}, 19, "multiplicative"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	cases := map[string]string{
+		"bsd":          "51.0", // BSD(100) = 1 + 9999/200 ≈ 51.0
+		"map":          "1.0",
+		"direct-index": "1.0",
+		"bogus":        "-",
+	}
+	for algo, want := range cases {
+		if got := model("tpca", algo, 100, 0.2, 0.001, 19); !strings.Contains(got, want) {
+			t.Errorf("model(%s) = %q, want containing %q", algo, got, want)
+		}
+	}
+	if got := model("polling", "mtf", 100, 0.2, 0.001, 19); !strings.Contains(got, "99") {
+		t.Errorf("polling mtf model = %q", got)
+	}
+}
+
+func TestRunChurnWorkload(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "churn", []string{"sequent"}, 30, 0.2, 0.001, 19, 3, 1, "", "multiplicative", "tpca"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "workload=churn") || !strings.Contains(b.String(), "time-wait") {
+		t.Fatalf("churn output wrong:\n%s", b.String())
+	}
+}
+
+func TestRunBadHashName(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "tpca", []string{"sequent"}, 10, 0.2, 0.001, 19, 1, 1, "", "bogus-hash", "tpca"); err == nil {
+		t.Fatal("unknown hash accepted")
+	}
+}
+
+func TestThinkDistFlag(t *testing.T) {
+	for _, name := range []string{"tpca", "exp", "const", "uniform", "mix"} {
+		if _, err := thinkDist(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := thinkDist("bogus"); err == nil {
+		t.Error("bogus think law accepted")
+	}
+	var b strings.Builder
+	if err := run(&b, "tpca", []string{"mtf"}, 40, 0.2, 0.001, 19, 3, 1, "", "multiplicative", "uniform"); err != nil {
+		t.Fatal(err)
+	}
+}

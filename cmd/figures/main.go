@@ -1,0 +1,211 @@
+// Command figures regenerates the data behind the paper's three figures:
+//
+//	Figure 4  — N(T): expected users entering transactions vs think time
+//	Figure 13 — PCB search cost vs connections, 0..10,000 (all algorithms)
+//	Figure 14 — the same comparison in detail, 0..1,000, adding SR 10 ms
+//
+// Output is tab-separated values (for plotting elsewhere) plus an ASCII
+// rendering of the curves. With -sim, event-driven simulation measurements
+// are run at a handful of population sizes and printed next to the model,
+// reproducing the paper-vs-simulation agreement table of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	figures -fig 4|13|14 [-sim] [-points n] [-o file.tsv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tcpdemux/internal/analytic"
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/plot"
+	"tcpdemux/internal/tpca"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 13, "figure to regenerate: 4, 13, 14, or 15 (chain-count sweep extension)")
+		sim    = flag.Bool("sim", false, "add event-driven simulation measurements (figures 13/14)")
+		out    = flag.String("o", "", "write TSV to this file instead of stdout")
+		width  = flag.Int("width", 72, "ASCII plot width")
+		height = flag.Int("height", 24, "ASCII plot height")
+		seed   = flag.Uint64("seed", 42, "simulation seed (with -sim)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(w, *fig, *sim, *width, *height, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig int, sim bool, width, height int, seed uint64) error {
+	switch fig {
+	case 4:
+		return figure4(w, width, height)
+	case 13:
+		return comparison(w, analytic.Figure13(), "Figure 13: cost vs TPC/A connections (N to 10,000)",
+			sim, []int{500, 1000, 2000}, width, height, seed)
+	case 14:
+		return comparison(w, analytic.Figure14(), "Figure 14: detail (N to 1,000)",
+			sim, []int{100, 300, 600, 1000}, width, height, seed)
+	case 15:
+		return chainSweep(w, sim, width, height, seed)
+	default:
+		return fmt.Errorf("unknown figure %d (have 4, 13, 14, and 15 = chain-count sweep, this repo's extension)", fig)
+	}
+}
+
+// chainSweep emits the §3.5 sizing curve (cost vs H at N=2000), a figure
+// the paper discusses but does not plot.
+func chainSweep(w io.Writer, sim bool, width, height int, seed uint64) error {
+	p := analytic.Params{N: 2000, R: 0.2}
+	series, err := analytic.ChainSweep(p, 150)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Extension figure: Sequent cost vs chain count, N=2000, R=0.2s")
+	fmt.Fprintln(w, "H\teq22\tbinomial")
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%.0f\t%.2f\t%.2f\n",
+			series[0].Points[i].X, series[0].Points[i].Y, series[1].Points[i].Y)
+	}
+	c := plot.New("Sequent cost vs chain count (N=2000)", width, height)
+	c.XLabel = "hash chains H"
+	c.YLabel = "expected PCBs searched"
+	for _, s := range series {
+		xs := make([]float64, len(s.Points))
+		ys := make([]float64, len(s.Points))
+		for i, pt := range s.Points {
+			xs[i], ys[i] = pt.X, pt.Y
+		}
+		if err := c.Add(plot.Series{Label: s.Label, X: xs, Y: ys}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	if _, err := io.WriteString(w, c.Render()); err != nil {
+		return err
+	}
+	if !sim {
+		return nil
+	}
+	fmt.Fprintln(w, "\n# simulation spot checks")
+	fmt.Fprintln(w, "H\tsimulated\teq22")
+	for _, h := range []int{10, 19, 51, 100} {
+		d := core.NewSequentHash(h, nil)
+		res, err := tpca.Run(d, tpca.Config{
+			Users: 2000, ResponseTime: 0.2, RTT: 0.001, Seed: seed,
+			MeasuredTxns: 10 * 2000,
+		})
+		if err != nil {
+			return err
+		}
+		model, err := analytic.Sequent(analytic.Params{N: 2000, R: 0.2, H: h})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\n", h, res.Overall.Mean(), model)
+	}
+	return nil
+}
+
+// figure4 emits the N(T) curve for 2,000 users.
+func figure4(w io.Writer, width, height int) error {
+	pts := analytic.Figure4(2000, 50, 101)
+	fmt.Fprintln(w, "# Figure 4: N(T) for 2,000 TPC/A users")
+	fmt.Fprintln(w, "T_seconds\texpected_users_preceding")
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		fmt.Fprintf(w, "%.1f\t%.2f\n", p.X, p.Y)
+		xs[i], ys[i] = p.X, p.Y
+	}
+	c := plot.New("Figure 4: N(T), 2,000 users", width, height)
+	c.XLabel = "time between transactions for given user (s)"
+	c.YLabel = "other users entering transactions"
+	if err := c.Add(plot.Series{Label: "N(T) = 1999(1-e^-T/10)", X: xs, Y: ys}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	_, err := io.WriteString(w, c.Render())
+	return err
+}
+
+// comparison emits a Figure 13/14-style multi-series chart.
+func comparison(w io.Writer, series []analytic.Series, title string, sim bool, simNs []int, width, height int, seed uint64) error {
+	// TSV: one row per N, one column per series.
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprint(w, "N")
+	for _, s := range series {
+		fmt.Fprintf(w, "\t%s", strings.ReplaceAll(s.Label, " ", "_"))
+	}
+	fmt.Fprintln(w)
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%.0f", series[0].Points[i].X)
+		for _, s := range series {
+			fmt.Fprintf(w, "\t%.1f", s.Points[i].Y)
+		}
+		fmt.Fprintln(w)
+	}
+
+	c := plot.New(title, width, height)
+	c.XLabel = "TPC/A TCP connections"
+	c.YLabel = "expected PCBs searched"
+	for _, s := range series {
+		xs := make([]float64, len(s.Points))
+		ys := make([]float64, len(s.Points))
+		for i, p := range s.Points {
+			xs[i], ys[i] = p.X, p.Y
+		}
+		if err := c.Add(plot.Series{Label: s.Label, X: xs, Y: ys}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	if _, err := io.WriteString(w, c.Render()); err != nil {
+		return err
+	}
+
+	if !sim {
+		return nil
+	}
+	fmt.Fprintln(w, "\n# simulation spot checks (model in parentheses)")
+	fmt.Fprintln(w, "N\tbsd\tmtf\tsr\tsequent")
+	for _, n := range simNs {
+		cfg := tpca.Config{Users: n, ResponseTime: 0.2, RTT: 0.001, Seed: seed,
+			MeasuredTxns: 15 * n}
+		results, err := tpca.RunAlgorithms([]string{"bsd", "mtf", "sr", "sequent"},
+			core.Config{Chains: 19}, cfg)
+		if err != nil {
+			return err
+		}
+		p := analytic.Params{N: n, R: 0.2, D: 0.001, H: 19}
+		seqModel, err := analytic.Sequent(p)
+		if err != nil {
+			return err
+		}
+		models := []float64{analytic.BSD(n), analytic.Crowcroft(p) + 1, analytic.SR(p), seqModel}
+		fmt.Fprintf(w, "%d", n)
+		for i, r := range results {
+			fmt.Fprintf(w, "\t%.1f (%.1f)", r.Overall.Mean(), models[i])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

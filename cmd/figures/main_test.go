@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure4Output(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 4, false, 60, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 4") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "T_seconds\texpected_users_preceding") {
+		t.Error("missing TSV header")
+	}
+	// The curve's saturation value must appear in the data rows.
+	if !strings.Contains(out, "1985.53") {
+		t.Errorf("missing N(50) value:\n%s", out[:200])
+	}
+}
+
+func TestFigure13Output(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 13, false, 60, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"BSD", "MTF_0.2", "SR_1", "SEQUENT_H=19", "10000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 13 missing %q", want)
+		}
+	}
+}
+
+func TestFigure14WithSim(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 14, true, 60, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "SR_10") {
+		t.Error("figure 14 missing SR 10 series")
+	}
+	if !strings.Contains(out, "simulation spot checks") {
+		t.Error("missing -sim section")
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 99, false, 60, 20, 1); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFigure15ChainSweep(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 15, false, 60, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "chain count") || !strings.Contains(out, "binomial") {
+		t.Errorf("chain sweep output wrong:\n%s", out[:200])
+	}
+	// Pinned values: H=19 row carries the paper's 53.0.
+	if !strings.Contains(out, "19\t52.98") && !strings.Contains(out, "19\t53.0") {
+		t.Error("H=19 row missing eq22 value")
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcpdemux/internal/tpca"
+	"tcpdemux/internal/trace"
+)
+
+// buildTrace writes a small synthetic trace: 10 connections, 4 events per
+// transaction, 5 transactions each.
+func buildTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := 0.0
+	for txn := 0; txn < 5; txn++ {
+		for conn := 0; conn < 10; conn++ {
+			tu := tpca.UserKey(conn).Tuple()
+			events := []trace.Event{
+				{Time: ts, Tuple: tu},                                // inbound data
+				{Time: ts + 0.001, Tuple: tu, Send: true, Ack: true}, // query ack out
+				{Time: ts + 0.2, Tuple: tu, Send: true},              // response out
+				{Time: ts + 0.201, Tuple: tu, Ack: true},             // response ack in
+			}
+			for _, e := range events {
+				if err := w.Write(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ts += 1.0
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunReport(t *testing.T) {
+	data := buildTrace(t)
+	var out strings.Builder
+	if err := run(&out, bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"events:          200",
+		"inbound:         50 data + 50 ack = 100 lookups",
+		"outbound:        50 data + 50 ack",
+		"connections:     10",
+		"OLTP-like",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "empty trace") {
+		t.Fatalf("report: %s", out.String())
+	}
+}
+
+func TestRunRejectsGarbage(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, strings.NewReader("not a trace file at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSkewDetection(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One hot connection with 1000 events, nine with 2 each.
+	hot := tpca.UserKey(0).Tuple()
+	for i := 0; i < 1000; i++ {
+		if err := w.Write(trace.Event{Time: float64(i), Tuple: hot}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c := 1; c < 10; c++ {
+		tu := tpca.UserKey(c).Tuple()
+		for i := 0; i < 2; i++ {
+			if err := w.Write(trace.Event{Time: 1000 + float64(c), Tuple: tu}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "train-prone") {
+		t.Fatalf("skew not detected:\n%s", out.String())
+	}
+}

@@ -1,0 +1,124 @@
+// Command validate runs the complete model-versus-simulation grid: every
+// algorithm the paper analyzes, across population sizes, response times
+// and round-trip delays, with replicated seeds and 95% confidence
+// intervals. It prints one row per cell with the analytic prediction, the
+// measured mean ± CI, and the residual — the quantitative version of the
+// paper's "these approximations have been qualitatively confirmed by
+// benchmarks".
+//
+// Usage:
+//
+//	validate [-reps 3] [-txns 10] [-quick]
+//
+// -quick shrinks the grid for CI use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"tcpdemux/internal/analytic"
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/tpca"
+)
+
+// cell is one grid point.
+type cell struct {
+	algo    string
+	n       int
+	r, d    float64
+	chains  int
+	model   float64
+	comment string
+}
+
+func main() {
+	var (
+		reps  = flag.Int("reps", 3, "replications per cell")
+		txns  = flag.Int("txns", 10, "measured transactions per user")
+		quick = flag.Bool("quick", false, "small grid")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *reps, *txns, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+}
+
+// grid builds the validation cells. MTF models get +1 for the
+// preceding-vs-examined convention (see EXPERIMENTS.md).
+func grid(quick bool) ([]cell, error) {
+	ns := []int{200, 500, 1000}
+	rs := []float64{0.2, 1.0}
+	ds := []float64{0.001, 0.010}
+	if quick {
+		ns = []int{200}
+		rs = []float64{0.2}
+		ds = []float64{0.001}
+	}
+	var cells []cell
+	for _, n := range ns {
+		for _, r := range rs {
+			p := analytic.Params{N: n, R: r, D: ds[0], H: 19}
+			cells = append(cells,
+				cell{algo: "bsd", n: n, r: r, d: ds[0], model: analytic.BSD(n), comment: "Eq 1"},
+				cell{algo: "mtf", n: n, r: r, d: ds[0], model: analytic.Crowcroft(p) + 1, comment: "Eq 6 (+1)"},
+			)
+			seq, err := analytic.Sequent(p)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell{algo: "sequent", n: n, r: r, d: ds[0], chains: 19, model: seq, comment: "Eq 22"})
+			seqB, err := analytic.SequentWithImbalance(p)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell{algo: "sequent", n: n, r: r, d: ds[0], chains: 19, model: seqB, comment: "Eq 22+binomial"})
+		}
+		for _, d := range ds {
+			p := analytic.Params{N: n, R: 0.2, D: d}
+			cells = append(cells, cell{algo: "sr", n: n, r: 0.2, d: d, model: analytic.SR(p), comment: "Eq 17"})
+		}
+	}
+	return cells, nil
+}
+
+func run(out io.Writer, reps, txns int, quick bool) error {
+	cells, err := grid(quick)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintln(w, "algorithm\tN\tR\tD\tmodel\tmeasured\t±CI95\tresidual\tref")
+	worst := 0.0
+	for _, c := range cells {
+		cfg := tpca.Config{
+			Users: c.n, ResponseTime: c.r, RTT: c.d,
+			Seed: 42, MeasuredTxns: txns * c.n,
+		}
+		build := func() (core.Demuxer, error) {
+			return core.New(c.algo, core.Config{Chains: c.chains})
+		}
+		rep, err := tpca.RunReplicated(build, cfg, reps)
+		if err != nil {
+			return err
+		}
+		residual := (rep.Mean() - c.model) / c.model * 100
+		if math.Abs(residual) > worst {
+			worst = math.Abs(residual)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.3f\t%.1f\t%.1f\t%.1f\t%+.1f%%\t%s\n",
+			c.algo, c.n, c.r, c.d, c.model, rep.Mean(), rep.CI95(), residual, c.comment)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nworst |residual| = %.1f%% over %d cells x %d replications\n",
+		worst, len(cells), reps)
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickGrid(t *testing.T) {
+	cells, err := grid(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 { // bsd, mtf, sequent x2 models at one (N,R) + one sr
+		t.Fatalf("quick grid has %d cells", len(cells))
+	}
+	for _, c := range cells {
+		if c.model <= 0 {
+			t.Fatalf("cell %+v has no model value", c)
+		}
+	}
+}
+
+func TestFullGridShape(t *testing.T) {
+	cells, err := grid(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 N × (2 R × 4 rows + 2 D × sr) = 3 × 10 = 30.
+	if len(cells) != 30 {
+		t.Fatalf("full grid has %d cells", len(cells))
+	}
+}
+
+func TestRunQuickValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 2, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"bsd", "mtf", "sequent", "sr", "worst |residual|", "Eq 22"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The headline property: residuals stay in single digits even on a
+	// small quick run.
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN in validation output")
+	}
+}

@@ -1,0 +1,3 @@
+module tcpdemux
+
+go 1.22

@@ -1,0 +1,509 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// near asserts got is within tol of want.
+func near(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v ± %v", what, got, want, tol)
+	}
+}
+
+// paper200TPS is the paper's running example: a 200 TPC/A TPS benchmark
+// with 2,000 users at the default 0.1 txn/s per-user rate.
+func paper200TPS(r, d float64, h int) Params {
+	return Params{N: 2000, R: r, D: d, H: h}
+}
+
+// --- §3.1 BSD -------------------------------------------------------------
+
+func TestBSDPaperValue(t *testing.T) {
+	// "This equation yields an average cost of a linear scan of 1,001 PCBs
+	// for a 200 TPC/A TPS benchmark."
+	near(t, BSD(2000), 1001, 0.5, "C_BSD(2000)")
+}
+
+func TestBSDSmallN(t *testing.T) {
+	near(t, BSD(1), 1, 1e-12, "C_BSD(1)") // cache always hits with one PCB
+	near(t, BSD(2), 1+3.0/4, 1e-12, "C_BSD(2)")
+	if BSD(0) != 0 {
+		t.Error("C_BSD(0) should be 0")
+	}
+}
+
+func TestBSDApproachesHalfN(t *testing.T) {
+	// "approaching N/2 for large N."
+	for _, n := range []int{1000, 10000, 100000} {
+		ratio := BSD(n) / (float64(n) / 2)
+		if math.Abs(ratio-1) > 0.01 {
+			t.Errorf("BSD(%d)/(N/2) = %v, want ~1", n, ratio)
+		}
+	}
+}
+
+func TestBSDHitRatePaperValue(t *testing.T) {
+	// "The hit rate for the PCB cache is 1/N, which is 0.05% for a 200
+	// TPC/A TPS benchmark."
+	near(t, BSDHitRate(2000), 0.0005, 1e-12, "BSD hit rate")
+}
+
+func TestBSDTrainProb(t *testing.T) {
+	// Footnote 4: a given user stays silent in a 200 ms window with
+	// probability 96%; all 1,999 others staying silent is "indeed remote".
+	p := paper200TPS(0.2, 0, 0)
+	oneUser := math.Exp(-2 * 0.1 * 0.2)
+	near(t, oneUser, 0.96, 0.001, "single-user silence probability")
+	got := BSDTrainProb(p)
+	near(t, got, 1.9e-35, 0.1e-35, "BSD train probability")
+	if BSDTrainProb(Params{N: 1, R: 5}) != 1 {
+		t.Error("single user always forms trains")
+	}
+}
+
+// --- §3.2 Crowcroft -------------------------------------------------------
+
+func TestNTClosedFormMatchesSum(t *testing.T) {
+	// Eq. 3's literal binomial sum must equal (N-1)(1-e^{-aT}).
+	for _, n := range []int{2, 10, 100, 2000} {
+		for _, tt := range []float64{0.1, 1, 10, 50} {
+			p := Params{N: n}
+			closed := NT(p, tt)
+			sum := NTSum(p, tt)
+			if math.Abs(closed-sum) > 1e-6*math.Max(1, closed) {
+				t.Errorf("N=%d T=%v: closed %v vs sum %v", n, tt, closed, sum)
+			}
+		}
+	}
+}
+
+func TestNTFigure4Shape(t *testing.T) {
+	// Figure 4: monotone rise from 0 toward N-1 = 1999; about half the
+	// users precede after one mean think time (T=10 → 1-1/e ≈ 0.632).
+	p := Params{N: 2000}
+	if NT(p, 0) != 0 {
+		t.Error("N(0) must be 0")
+	}
+	near(t, NT(p, 10), 1999*(1-math.Exp(-1)), 1e-9, "N(10)")
+	near(t, NT(p, 50), 1999*(1-math.Exp(-5)), 1e-9, "N(50)")
+	prev := -1.0
+	for _, pt := range Figure4(2000, 50, 51) {
+		if pt.Y < prev {
+			t.Fatalf("Figure 4 curve not monotone at T=%v", pt.X)
+		}
+		prev = pt.Y
+	}
+}
+
+func TestCrowcroftEntryPaperValues(t *testing.T) {
+	// "The result for a 200 TPS benchmark is 1,019, 1,045, 1,086, and
+	// 1,150 PCBs, corresponding to response times of 0.2, 0.5, 1.0, and
+	// 2.0 seconds".
+	want := map[float64]float64{0.2: 1019, 0.5: 1045, 1.0: 1086, 2.0: 1150}
+	for r, w := range want {
+		near(t, CrowcroftEntry(paper200TPS(r, 0, 0)), w, 1.0, "Crowcroft entry")
+	}
+}
+
+func TestCrowcroftEntryIntegralMatchesClosedForm(t *testing.T) {
+	for _, r := range []float64{0.2, 0.5, 1, 2, 5} {
+		p := paper200TPS(r, 0, 0)
+		integral, err := CrowcroftEntryIntegral(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := CrowcroftEntry(p)
+		if math.Abs(integral-closed) > 1e-4*closed {
+			t.Errorf("R=%v: integral %v vs closed %v", r, integral, closed)
+		}
+	}
+}
+
+func TestCrowcroftAckPaperValues(t *testing.T) {
+	// "The length of the PCB search is 78, 190, 362, and 659 PCBs, for
+	// response times of 0.2, 0.5, 1.0, and 2.0 seconds".
+	want := map[float64]float64{0.2: 78, 0.5: 190, 1.0: 362, 2.0: 659}
+	for r, w := range want {
+		near(t, CrowcroftAck(paper200TPS(r, 0, 0)), w, 1.0, "Crowcroft ack")
+	}
+}
+
+func TestCrowcroftOverallPaperValues(t *testing.T) {
+	// "average search lengths of 549, 618, 724, and 904 PCBs".
+	want := map[float64]float64{0.2: 549, 0.5: 618, 1.0: 724, 2.0: 904}
+	for r, w := range want {
+		near(t, Crowcroft(paper200TPS(r, 0, 0)), w, 1.0, "Crowcroft overall")
+	}
+}
+
+func TestCrowcroftBeatsBSDAndImprovesWithFasterResponses(t *testing.T) {
+	// §3.2: "a significant improvement over the search length of 1,001";
+	// Figure 13: MTF improves as response time decreases.
+	prev := BSD(2000)
+	for _, r := range []float64{2.0, 1.0, 0.5, 0.2} {
+		c := Crowcroft(paper200TPS(r, 0, 0))
+		if c >= prev {
+			t.Fatalf("Crowcroft R=%v cost %v did not improve on %v", r, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCrowcroftDeterministicWorstCase(t *testing.T) {
+	// "if the think times were deterministic ... Crowcroft's algorithm
+	// would look through all 2,000 PCBs on each transaction entry."
+	near(t, CrowcroftDeterministic(2000), 1999, 1e-12, "deterministic MTF")
+	if CrowcroftDeterministic(0) != 0 {
+		t.Error("empty population should cost 0")
+	}
+}
+
+func TestCrowcroftDegenerate(t *testing.T) {
+	if Crowcroft(Params{N: 1, R: 1}) != 0 {
+		t.Error("single user has nothing preceding it")
+	}
+	if NT(Params{N: 2000}, -1) != 0 {
+		t.Error("negative interval should yield 0")
+	}
+}
+
+// --- §3.3 SR cache ----------------------------------------------------------
+
+func TestSRPaperValues(t *testing.T) {
+	// "Solving this numerically for 2,000 users and round-trip delays of
+	// 1, 10, and 100 milliseconds gives average search lengths of 667,
+	// 993, and 1002 PCBs, respectively."
+	want := map[float64]float64{0.001: 667, 0.010: 993, 0.100: 1002}
+	for d, w := range want {
+		near(t, SR(paper200TPS(0.2, d, 0)), w, 1.0, "SR overall")
+	}
+}
+
+func TestSRInsensitiveToR(t *testing.T) {
+	// "The algorithm is extremely insensitive to the value of R for large
+	// values of N."
+	base := SR(paper200TPS(0.2, 0.001, 0))
+	for _, r := range []float64{0.5, 1.0, 2.0} {
+		v := SR(paper200TPS(r, 0.001, 0))
+		if math.Abs(v-base)/base > 0.02 {
+			t.Errorf("SR at R=%v is %v, far from %v", r, v, base)
+		}
+	}
+}
+
+func TestSRN1IntegralMatchesClosedForm(t *testing.T) {
+	for _, d := range []float64{0.001, 0.01, 0.1} {
+		p := paper200TPS(0.2, d, 0)
+		integral, err := SRN1Integral(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := SRN1(p)
+		if math.Abs(integral-closed) > 1e-5*closed {
+			t.Errorf("D=%v: N1 integral %v vs closed %v", d, integral, closed)
+		}
+	}
+}
+
+func TestSRN2IntegralMatchesClosedForm(t *testing.T) {
+	for _, d := range []float64{0.001, 0.01, 0.1} {
+		p := paper200TPS(0.2, d, 0)
+		integral, err := SRN2Integral(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := SRN2(p)
+		if math.Abs(integral-closed) > 1e-5*math.Max(1, closed) {
+			t.Errorf("D=%v: N2 integral %v vs closed %v", d, integral, closed)
+		}
+	}
+}
+
+func TestSRNaLimits(t *testing.T) {
+	// §3.3.3: as D and N increase the expression approaches (N+5)/2; as D→0
+	// or N→1 it approaches one (the send-side cache probe).
+	big := paper200TPS(0.2, 10, 0)
+	near(t, SRNa(big), (2000.0+5)/2, 0.01, "Na large D")
+	near(t, SRNa(paper200TPS(0.2, 0, 0)), 1, 1e-9, "Na zero D")
+	near(t, SRNa(Params{N: 1, R: 0.2, D: 0.5}), 1, 1e-9, "Na single user")
+}
+
+func TestSRApproachesBSDForLargeN(t *testing.T) {
+	// Figure 13: "asymptotically approaches the BSD algorithm's
+	// performance for large numbers of users." At N=10000, D=1ms the SR
+	// curve sits within a few percent of BSD; the miss penalty overhead
+	// ((N+5)/2 vs (N+1)/2) keeps it slightly above.
+	sr := SR(Params{N: 10000, R: 0.2, D: 0.001})
+	bsd := BSD(10000)
+	if sr < bsd*0.7 || sr > bsd*1.05 {
+		t.Errorf("SR(10000) = %v not near BSD %v", sr, bsd)
+	}
+}
+
+func TestSRGoodForSmallN(t *testing.T) {
+	// Figure 14: "significantly better than the stock BSD algorithm for
+	// small numbers of users".
+	sr := SR(Params{N: 100, R: 0.2, D: 0.001})
+	bsd := BSD(100)
+	if sr > 0.6*bsd {
+		t.Errorf("SR(100) = %v, expected well under BSD %v", sr, bsd)
+	}
+}
+
+// --- §3.4 Sequent -----------------------------------------------------------
+
+func TestSequentApproxPaperValue(t *testing.T) {
+	// "Equation 19 predicts 53.6".
+	v, err := SequentApprox(paper200TPS(0.2, 0, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, v, 53.6, 0.1, "Sequent Eq 19")
+}
+
+func TestSequentExactPaperValue(t *testing.T) {
+	// "This equation yields an average cost of a linear scan of 53.0 PCBs
+	// for a 200 TPC/A TPS benchmark with 19 hash chains and a
+	// 200-millisecond response time."
+	v, err := Sequent(paper200TPS(0.2, 0, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, v, 53.0, 0.1, "Sequent Eq 22")
+}
+
+func TestSequentApproxErrorAbout1Percent(t *testing.T) {
+	// "In contrast, Equation 19 predicts 53.6 for a little more than 1%
+	// error."
+	p := paper200TPS(0.2, 0, 19)
+	exact, _ := Sequent(p)
+	approx, _ := SequentApprox(p)
+	errPct := (approx - exact) / exact * 100
+	if errPct < 0.8 || errPct > 2 {
+		t.Errorf("approximation error = %v%%, want ~1%%", errPct)
+	}
+}
+
+func TestSequentApproxErrorGrowsWith51Chains(t *testing.T) {
+	// "The error gets larger ... exceeding 10% if 51 hash chains are
+	// substituted into the previous example."
+	p := paper200TPS(0.2, 0, 51)
+	exact, _ := Sequent(p)
+	approx, _ := SequentApprox(p)
+	if errPct := (approx - exact) / exact * 100; errPct <= 10 {
+		t.Errorf("51-chain approximation error = %v%%, want > 10%%", errPct)
+	}
+}
+
+func TestSequentSurvivalPaperValues(t *testing.T) {
+	// "This probability is about 1.5% for a 2000-user benchmark with a
+	// 200-millisecond response time and 19 hash chains ... if the number
+	// of hash chains is increased to 51, the probability increases to
+	// almost 21%."
+	p19, _ := SequentSurvival(paper200TPS(0.2, 0, 19))
+	near(t, p19, 0.0155, 0.001, "survival H=19")
+	p51, _ := SequentSurvival(paper200TPS(0.2, 0, 51))
+	near(t, p51, 0.215, 0.005, "survival H=51")
+}
+
+func TestSequent100ChainsUnder9(t *testing.T) {
+	// §3.5: "if the number of hash chains in the above example is
+	// increased from 19 to 100, the average number of PCBs searched drops
+	// from 53 to less than 9."
+	v, err := Sequent(paper200TPS(0.2, 0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= 9 {
+		t.Errorf("Sequent H=100 = %v, want < 9", v)
+	}
+	if v < 5 {
+		t.Errorf("Sequent H=100 = %v, implausibly low", v)
+	}
+}
+
+func TestSequentOrderOfMagnitudeBetter(t *testing.T) {
+	// "Either equation predicts an order of magnitude improvement over the
+	// BSD algorithm, Crowcroft's ... or Partridge's and Pink's".
+	p := paper200TPS(0.2, 0.001, 19)
+	seq, _ := Sequent(p)
+	for name, other := range map[string]float64{
+		"BSD":       BSD(2000),
+		"Crowcroft": Crowcroft(p),
+		"SR":        SR(p),
+	} {
+		if other/seq < 10 {
+			t.Errorf("Sequent improvement over %s is only %.1fx", name, other/seq)
+		}
+	}
+}
+
+func TestSequentNeedsH(t *testing.T) {
+	for _, f := range []func(Params) (float64, error){
+		Sequent, SequentApprox, SequentTxn, SequentAck, SequentSurvival,
+	} {
+		if _, err := f(Params{N: 10}); err != ErrNeedH {
+			t.Errorf("expected ErrNeedH, got %v", err)
+		}
+	}
+}
+
+func TestSequentMoreChainsThanPCBs(t *testing.T) {
+	// With H >= N every chain holds at most one PCB; cost degenerates to a
+	// single examination.
+	v, err := Sequent(Params{N: 10, R: 0.2, H: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, v, 1, 1e-9, "Sequent H>N")
+}
+
+func TestSequentSingleChainIsBSDApprox(t *testing.T) {
+	// H=1 reduces Eq. 19 to Eq. 1 exactly.
+	v, err := SequentApprox(Params{N: 2000, R: 0.2, H: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, v, BSD(2000), 1e-9, "Sequent H=1 vs BSD")
+}
+
+// --- §3.5 comparison / figures ----------------------------------------------
+
+func TestCombiningMTFWorseThanMoreChains(t *testing.T) {
+	// "This factor-of-five improvement [19→100 chains] compares favorably
+	// with the best-case factor-of-two improvement that would be obtained
+	// by adding move-to-front."
+	p19 := paper200TPS(0.2, 0, 19)
+	p100 := paper200TPS(0.2, 0, 100)
+	c19, _ := Sequent(p19)
+	c100, _ := Sequent(p100)
+	gain := c19 / c100
+	if gain < 5 {
+		t.Errorf("19→100 chains gain = %.2fx, want ≥ 5x", gain)
+	}
+}
+
+func TestFigure13SeriesShapes(t *testing.T) {
+	series := Figure13()
+	byLabel := map[string][]Point{}
+	for _, s := range series {
+		byLabel[s.Label] = s.Points
+	}
+	bsd := byLabel["BSD"]
+	if len(bsd) != 100 {
+		t.Fatalf("BSD series has %d points", len(bsd))
+	}
+	last := bsd[len(bsd)-1]
+	near(t, last.Y, 5001, 1, "BSD at N=10000") // ≈ N/2 + 1
+	// Ordering at N=10000: Sequent << MTF 0.2 < MTF 0.5 < MTF 1.0 < BSD ~ SR.
+	at := func(label string) float64 {
+		pts := byLabel[label]
+		return pts[len(pts)-1].Y
+	}
+	if !(at("SEQUENT H=19") < at("MTF 0.2") && at("MTF 0.2") < at("MTF 0.5") &&
+		at("MTF 0.5") < at("MTF 1.0") && at("MTF 1.0") < at("BSD")) {
+		t.Errorf("Figure 13 ordering violated: seq=%v mtf02=%v mtf05=%v mtf10=%v bsd=%v",
+			at("SEQUENT H=19"), at("MTF 0.2"), at("MTF 0.5"), at("MTF 1.0"), at("BSD"))
+	}
+	if sr := at("SR 1"); math.Abs(sr-at("BSD"))/at("BSD") > 0.2 {
+		t.Errorf("SR 1 at N=10000 = %v should approach BSD %v", sr, at("BSD"))
+	}
+}
+
+func TestFigure14HasSR10(t *testing.T) {
+	series := Figure14()
+	found := false
+	for _, s := range series {
+		if s.Label == "SR 10" {
+			found = true
+			if s.Points[len(s.Points)-1].X != 1000 {
+				t.Errorf("Figure 14 should stop at N=1000, got %v", s.Points[len(s.Points)-1].X)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Figure 14 missing SR 10 series")
+	}
+}
+
+// --- validation / properties -------------------------------------------------
+
+func TestValidate(t *testing.T) {
+	good := Params{N: 10, R: 0.1, D: 0.01, H: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Params{
+		{N: 0}, {N: 5, A: -1}, {N: 5, R: -1}, {N: 5, D: -1}, {N: 5, H: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+}
+
+func TestDefaultRateApplied(t *testing.T) {
+	implicit := Crowcroft(Params{N: 2000, R: 0.2})
+	explicit := Crowcroft(Params{N: 2000, A: 0.1, R: 0.2})
+	if implicit != explicit {
+		t.Fatal("zero rate should default to 0.1")
+	}
+}
+
+func TestCostsWithinPopulationQuick(t *testing.T) {
+	// All models must report costs in [0, N+2] (the +2 allows the SR
+	// cache's two probes on top of a full-chain scan).
+	f := func(nRaw uint16, rRaw, dRaw uint8, hRaw uint8) bool {
+		n := int(nRaw)%5000 + 1
+		r := float64(rRaw) / 64.0
+		d := float64(dRaw) / 256.0
+		h := int(hRaw)%64 + 1
+		p := Params{N: n, R: r, D: d, H: h}
+		limit := float64(n) + 2
+		vals := []float64{BSD(n), Crowcroft(p), CrowcroftEntry(p), CrowcroftAck(p), SR(p)}
+		seq, err := Sequent(p)
+		if err != nil {
+			return false
+		}
+		vals = append(vals, seq)
+		for _, v := range vals {
+			if v < 0 || v > limit || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentMonotoneInH(t *testing.T) {
+	// More chains never hurts under the model.
+	prev := math.Inf(1)
+	for _, h := range []int{1, 2, 5, 10, 19, 51, 100, 500} {
+		v, err := Sequent(paper200TPS(0.2, 0, h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev+1e-9 {
+			t.Fatalf("Sequent cost increased at H=%d: %v > %v", h, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBSDMonotoneInN(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 2000; n += 7 {
+		v := BSD(n)
+		if v < prev {
+			t.Fatalf("BSD cost decreased at N=%d", n)
+		}
+		prev = v
+	}
+}

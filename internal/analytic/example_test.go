@@ -1,0 +1,46 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"tcpdemux/internal/analytic"
+)
+
+// The paper's running example: a 200 TPC/A TPS benchmark with 2,000 users.
+func Example() {
+	p := analytic.Params{N: 2000, R: 0.2, D: 0.001, H: 19}
+	seq, err := analytic.Sequent(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("BSD:       %.0f PCBs/packet\n", analytic.BSD(p.N))
+	fmt.Printf("Crowcroft: %.0f\n", analytic.Crowcroft(p))
+	fmt.Printf("SR cache:  %.0f\n", analytic.SR(p))
+	fmt.Printf("Sequent:   %.1f\n", seq)
+	// Output:
+	// BSD:       1001 PCBs/packet
+	// Crowcroft: 549
+	// SR cache:  667
+	// Sequent:   53.0
+}
+
+func ExampleBSD() {
+	fmt.Printf("%.1f\n", analytic.BSD(2000))
+	// Output: 1001.0
+}
+
+func ExampleChainsForTarget() {
+	h, err := analytic.ChainsForTarget(analytic.Params{N: 2000, R: 0.2}, 9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("H=%d (%d bytes of chain headers)\n", h, analytic.MemoryForChains(h, 16))
+	// Output: H=96 (1536 bytes of chain headers)
+}
+
+func ExampleNT() {
+	// Figure 4's curve at one mean think time: about 63% of the other
+	// 1,999 users will have entered a transaction.
+	fmt.Printf("%.0f\n", analytic.NT(analytic.Params{N: 2000}, 10))
+	// Output: 1264
+}

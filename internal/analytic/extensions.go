@@ -1,0 +1,238 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+
+	"tcpdemux/internal/numeric"
+)
+
+// This file extends the paper's model along the directions §3.4–3.5 gesture
+// at but do not work out: the effect of uneven hash chains, and choosing H
+// for a target cost ("the system administrator may increase the value of H
+// in order to get even better performance, at the expense of a small
+// increase in the memory used for the hash chain headers").
+
+// SequentBinomial refines Eq. 18 by dropping the assumption that every
+// chain holds exactly N/H PCBs. Under a uniform hash each PCB lands on a
+// chain independently, so the number of *other* PCBs sharing the target's
+// chain is Binomial(N-1, 1/H) with mean (N-1)/H. The expected scan cost on
+// a cache miss is (E[L]+1)/2 where L = 1 + Binomial(N-1, 1/H) is the
+// size-biased chain length, giving
+//
+//	C = 1 + (1 - H/N) · ((N-1)/H + 2) / 2
+//
+// which exceeds Eq. 18's (N/H + 1)/2 term by roughly 1/2 examination —
+// the price of hashing's randomness relative to perfectly balanced chains.
+// (The variance of the binomial does not enter: the expected scan length
+// is linear in the chain population.)
+func SequentBinomial(p Params) (float64, error) {
+	if p.H < 1 {
+		return 0, ErrNeedH
+	}
+	n, h := float64(p.N), float64(p.H)
+	if n <= 1 {
+		return 1, nil
+	}
+	missProb := 1 - math.Min(1, h/n)
+	scan := ((n-1)/h + 2) / 2
+	return 1 + missProb*scan, nil
+}
+
+// SequentWithImbalance returns the Eq. 22 overall cost with the binomial
+// occupancy correction applied to both the transaction and the
+// acknowledgement terms.
+func SequentWithImbalance(p Params) (float64, error) {
+	txn, err := SequentBinomial(p)
+	if err != nil {
+		return 0, err
+	}
+	surv, err := SequentSurvival(p)
+	if err != nil {
+		return 0, err
+	}
+	n, h := float64(p.N), float64(p.H)
+	scan := ((n-1)/h + 2) / 2
+	if n <= 1 {
+		scan = 1
+	}
+	ack := surv + (1-surv)*scan
+	return (txn + ack) / 2, nil
+}
+
+// ErrUnreachableTarget is returned by ChainsForTarget when even one PCB
+// per chain cannot reach the requested cost.
+var ErrUnreachableTarget = errors.New("analytic: target cost below 1 examination is unreachable")
+
+// ChainsForTarget returns the smallest chain count H for which the Eq. 22
+// cost model meets the target expected examinations per packet. It answers
+// the §3.5 sizing question quantitatively: e.g. at N=2000, R=0.2 a target
+// of 9 examinations needs 96 chains.
+func ChainsForTarget(p Params, target float64) (int, error) {
+	if target < 1 {
+		return 0, ErrUnreachableTarget
+	}
+	cost := func(h int) float64 {
+		ph := p
+		ph.H = h
+		v, err := Sequent(ph)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return v
+	}
+	// Cost is non-increasing in H and reaches 1 by H >= N (each occupied
+	// chain holds one PCB). Binary-search the integer domain.
+	lo, hi := 1, p.N
+	if p.N < 1 {
+		return 0, errors.New("analytic: need at least one user")
+	}
+	if cost(lo) <= target {
+		return lo, nil
+	}
+	if cost(hi) > target {
+		return 0, ErrUnreachableTarget
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if cost(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// MemoryForChains returns the chain-header memory in bytes for H chains
+// given a per-header size (head pointer + cache pointer; 8 bytes each on
+// the paper's 32-bit machines would be 8, on modern 64-bit 16). It
+// quantifies the "small increase in the memory used for the hash chain
+// headers" that more chains cost.
+func MemoryForChains(h, headerBytes int) int {
+	if h < 0 || headerBytes < 0 {
+		return 0
+	}
+	return h * headerBytes
+}
+
+// CrowcroftEntryGeneral computes the move-to-front entry cost for an
+// arbitrary think-time density instead of the exponential law: it
+// evaluates the paper's Eq. 5 structure
+//
+//	∫_0^R f(T)·N(2T) dT + ∫_R^∞ f(T)·N(T+R) dT
+//
+// by quadrature, where f is the think-time probability density with the
+// given decay rate bound for the tail substitution. With
+// f(T) = a·e^{-aT} it reproduces CrowcroftEntry; with other densities it
+// answers what the paper's deterministic-think-time aside generalizes to.
+func CrowcroftEntryGeneral(p Params, f func(float64) float64, decayRate float64) (float64, error) {
+	if p.N <= 1 {
+		return 0, nil
+	}
+	head, err := numeric.Integrate(func(t float64) float64 { return f(t) * NT(p, 2*t) }, 0, p.R, 0)
+	if err != nil {
+		return 0, err
+	}
+	tail, err := numeric.IntegrateToInf(func(t float64) float64 { return f(t) * NT(p, t+p.R) }, p.R, decayRate, 0)
+	if err != nil {
+		return 0, err
+	}
+	return head + tail, nil
+}
+
+// ChainSweep returns the Sequent cost as a function of the chain count H
+// at fixed N — the §3.5 sizing curve ("the system administrator may
+// increase the value of H"). Both the even-chain Eq. 22 model and the
+// binomial-occupancy correction are returned as separate series.
+func ChainSweep(p Params, maxH int) ([]Series, error) {
+	even := Series{Label: "Eq 22 (even chains)"}
+	binom := Series{Label: "binomial occupancy"}
+	for h := 1; h <= maxH; h++ {
+		ph := p
+		ph.H = h
+		e, err := Sequent(ph)
+		if err != nil {
+			return nil, err
+		}
+		b, err := SequentWithImbalance(ph)
+		if err != nil {
+			return nil, err
+		}
+		even.Points = append(even.Points, Point{float64(h), e})
+		binom.Points = append(binom.Points, Point{float64(h), b})
+	}
+	return []Series{even, binom}, nil
+}
+
+// CrowcroftEntryGeneral's caveat, made explicit by the renewal variant
+// below: it keeps the paper's Poisson model for the *other* users and only
+// generalizes the tagged user's think density. When every user changes
+// law, the other users' transaction processes become renewal processes
+// whose regularity matters enormously (a regular process almost certainly
+// fires inside a mean-length window; a Poisson one misses it 37% of the
+// time).
+
+// CrowcroftEntryRenewal computes the move-to-front entry cost when all
+// users draw think times from the same general law. f is the think-time
+// density of the tagged user; survival(w) is the stationary-renewal
+// probability that one other user's transaction process produces no
+// arrival in a window of length w, i.e. E[(X−w)⁺]/E[X] for cycle length
+// X = think + R + D. The expected PCBs preceding the tagged user's entry
+// is then
+//
+//	∫_0^∞ f(T) · (N−1) · (1 − survival(T+R)) dT
+//
+// (the paper's T>R window form applied throughout; for the exponential law
+// this differs from the exact Eq. 5 by under 0.1% at TPC/A parameters,
+// and thinking times shorter than R have negligible mass for every law
+// this repo models). decayRate bounds f's tail for the quadrature.
+func CrowcroftEntryRenewal(p Params, f func(float64) float64, survival func(float64) float64, decayRate float64) (float64, error) {
+	if p.N <= 1 {
+		return 0, nil
+	}
+	n := float64(p.N - 1)
+	integrand := func(t float64) float64 {
+		return f(t) * n * (1 - survival(t+p.R))
+	}
+	return numeric.IntegrateToInf(integrand, 0, decayRate, 0)
+}
+
+// StationarySurvivalUniform returns the survival function for a renewal
+// process whose cycle is Uniform[lo,hi] plus a deterministic shift
+// (response time + round trip): S(w) = E[(X−w)⁺]/E[X].
+func StationarySurvivalUniform(lo, hi, shift float64) func(float64) float64 {
+	a, b := lo+shift, hi+shift
+	mean := (a + b) / 2
+	return func(w float64) float64 {
+		switch {
+		case w <= a:
+			return (mean - w) / mean
+		case w >= b:
+			return 0
+		default:
+			// E[(X-w)+] = (b-w)²/(2(b-a))
+			return (b - w) * (b - w) / (2 * (b - a) * mean)
+		}
+	}
+}
+
+// StationarySurvivalExp returns the survival function for Poisson arrivals
+// at rate a: S(w) = e^{−aw}, recovering the paper's model.
+func StationarySurvivalExp(a float64) func(float64) float64 {
+	return func(w float64) float64 { return math.Exp(-a * w) }
+}
+
+// StationarySurvivalConst returns the survival function for a perfectly
+// regular (deterministic) cycle of length c: S(w) = max(0, (c−w))/c. With
+// it, CrowcroftEntryRenewal reproduces the paper's deterministic
+// worst case — every other user fires within any full-cycle window, so
+// each entry scans the whole list (§3.2's point-of-sale aside).
+func StationarySurvivalConst(c float64) func(float64) float64 {
+	return func(w float64) float64 {
+		if w >= c {
+			return 0
+		}
+		return (c - w) / c
+	}
+}

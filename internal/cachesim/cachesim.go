@@ -1,0 +1,277 @@
+// Package cachesim models the memory-hierarchy cost of PCB lookups to
+// support the paper's figure-of-merit argument (§3): "Since memory speeds
+// and bandwidths have been and are expected to continue increasing much
+// more slowly than CPU speeds, moving the PCBs between main memory and the
+// on-chip cache is and will continue to be the primary bottleneck. Hence,
+// the number of PCBs examined is a very good surrogate for the time
+// required to find the right PCB."
+//
+// It provides a set-associative LRU cache simulator and per-algorithm
+// access-pattern generators that replay the PCB touch sequences of the BSD
+// and Sequent lookups under the memoryless TPC/A approximation. EXP-MEM
+// runs both through the same hierarchy and shows estimated stall cycles
+// tracking the examined counts.
+package cachesim
+
+import (
+	"errors"
+	"fmt"
+
+	"tcpdemux/internal/rng"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity. Must be a multiple of
+	// LineBytes*Ways.
+	SizeBytes int
+	// LineBytes is the line size (power of two).
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Era1992 approximates the on-chip data cache of a 1992 high-end CPU
+// (e.g. i486/early RISC): 8 KiB, 32-byte lines, 2-way.
+var Era1992 = CacheConfig{SizeBytes: 8 << 10, LineBytes: 32, Ways: 2}
+
+// Validate reports configuration errors.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return errors.New("cachesim: line size must be a positive power of two")
+	case c.Ways <= 0:
+		return errors.New("cachesim: associativity must be positive")
+	case c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return errors.New("cachesim: size must be a positive multiple of line*ways")
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]uint64 // per-set tag stacks, MRU first; 0 = empty slot
+	setMask  uint64
+	lineBits uint
+	// Accesses and Misses count calls to Access.
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache from the configuration.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if nsets&(nsets-1) != 0 {
+		return nil, errors.New("cachesim: set count must be a power of two")
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	sets := make([][]uint64, nsets)
+	for i := range sets {
+		sets[i] = make([]uint64, 0, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1), lineBits: lineBits}, nil
+}
+
+// Access touches the byte at addr and reports whether it hit. Tags are
+// stored +1 so that a zero slot means empty.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	line := addr >> c.lineBits
+	set := c.sets[line&c.setMask]
+	tag := line + 1
+	for i, t := range set {
+		if t == tag {
+			// Move to MRU position.
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			return true
+		}
+	}
+	c.Misses++
+	if len(set) < c.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = tag
+	c.sets[line&c.setMask] = set
+	return false
+}
+
+// MissRate returns the observed miss fraction.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.Accesses, c.Misses = 0, 0
+}
+
+// Model combines a cache with a latency model and a PCB memory layout.
+type Model struct {
+	// Cache is the simulated on-chip data cache.
+	Cache *Cache
+	// HitCycles and MissCycles are per-access costs. 1992-era defaults:
+	// 1-cycle hit, ~20-cycle memory access.
+	HitCycles, MissCycles float64
+	// PCBBytes is the size of one PCB (the era's inpcb+tcpcb pair is a few
+	// hundred bytes; keys sit in the first lines).
+	PCBBytes int
+	// LinesPerExam is the number of cache lines touched to examine one
+	// PCB's demultiplexing key (1 for a compact key layout, more when key
+	// fields straddle lines).
+	LinesPerExam int
+	// addrs maps PCB index to its (shuffled) base address: allocation
+	// order is unrelated to list order, as with a real kernel allocator.
+	addrs []uint64
+	// Cycles accumulates estimated stall-inclusive cost.
+	Cycles float64
+	// Exams counts PCB examinations.
+	Exams uint64
+}
+
+// NewModel builds a cost model with n PCBs laid out at shuffled addresses.
+func NewModel(cfg CacheConfig, n int, seed uint64) (*Model, error) {
+	c, err := NewCache(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Cache: c, HitCycles: 1, MissCycles: 20,
+		PCBBytes: 256, LinesPerExam: 1,
+	}
+	src := rng.New(seed)
+	perm := src.Perm(n)
+	m.addrs = make([]uint64, n)
+	for i, p := range perm {
+		m.addrs[i] = uint64(p) * uint64(m.PCBBytes)
+	}
+	return m, nil
+}
+
+// ExaminePCB accounts one examination of PCB idx.
+func (m *Model) ExaminePCB(idx int) {
+	m.Exams++
+	base := m.addrs[idx]
+	for l := 0; l < m.LinesPerExam; l++ {
+		addr := base + uint64(l*m.Cache.cfg.LineBytes)
+		if m.Cache.Access(addr) {
+			m.Cycles += m.HitCycles
+		} else {
+			m.Cycles += m.MissCycles
+		}
+	}
+}
+
+// CyclesPerExam returns the average estimated cycles per PCB examination.
+func (m *Model) CyclesPerExam() float64 {
+	if m.Exams == 0 {
+		return 0
+	}
+	return m.Cycles / float64(m.Exams)
+}
+
+// String summarizes the model state.
+func (m *Model) String() string {
+	return fmt.Sprintf("exams=%d cycles=%.0f (%.2f/exam) miss-rate=%.1f%%",
+		m.Exams, m.Cycles, m.CyclesPerExam(), m.Cache.MissRate()*100)
+}
+
+// --- per-algorithm access patterns -------------------------------------------
+
+// LookupCost is the outcome of one modeled lookup.
+type LookupCost struct {
+	Examined int
+	Cycles   float64
+}
+
+// BSDLookups replays `lookups` BSD lookups over n PCBs with uniformly
+// random targets (the memoryless TPC/A approximation): one cache-PCB probe
+// followed by a scan from the list head to the target. It returns the mean
+// examined count and mean estimated cycles per lookup.
+func BSDLookups(m *Model, n, lookups int, seed uint64) LookupCost {
+	src := rng.New(seed)
+	order := src.Perm(n) // list order, fixed at insertion
+	cachePCB := order[0]
+	var totalExam int
+	startCycles := m.Cycles
+	for i := 0; i < lookups; i++ {
+		target := src.Intn(n)
+		m.ExaminePCB(cachePCB) // one-entry cache probe
+		totalExam++
+		if cachePCB != target {
+			for _, idx := range order {
+				m.ExaminePCB(idx)
+				totalExam++
+				if idx == target {
+					break
+				}
+			}
+		}
+		cachePCB = target
+	}
+	return LookupCost{
+		Examined: totalExam / lookups,
+		Cycles:   (m.Cycles - startCycles) / float64(lookups),
+	}
+}
+
+// SequentLookups replays `lookups` Sequent lookups over n PCBs spread
+// round-robin across h chains, again with uniform targets: per-chain cache
+// probe plus a scan of the target's chain.
+func SequentLookups(m *Model, n, h, lookups int, seed uint64) LookupCost {
+	src := rng.New(seed)
+	perm := src.Perm(n)
+	chains := make([][]int, h)
+	for i, p := range perm {
+		chains[i%h] = append(chains[i%h], p)
+	}
+	caches := make([]int, h) // cached PCB per chain, -1 = empty
+	for i := range caches {
+		caches[i] = -1
+	}
+	chainOf := make([]int, n)
+	for ci, ch := range chains {
+		for _, idx := range ch {
+			chainOf[idx] = ci
+		}
+	}
+	var totalExam int
+	startCycles := m.Cycles
+	for i := 0; i < lookups; i++ {
+		target := src.Intn(n)
+		ci := chainOf[target]
+		if caches[ci] >= 0 {
+			m.ExaminePCB(caches[ci])
+			totalExam++
+			if caches[ci] == target {
+				continue
+			}
+		}
+		for _, idx := range chains[ci] {
+			m.ExaminePCB(idx)
+			totalExam++
+			if idx == target {
+				break
+			}
+		}
+		caches[ci] = target
+	}
+	return LookupCost{
+		Examined: totalExam / lookups,
+		Cycles:   (m.Cycles - startCycles) / float64(lookups),
+	}
+}

@@ -1,0 +1,72 @@
+package cachesim
+
+import "fmt"
+
+// Hierarchy models a two-level cache in front of memory, refining the
+// single-level Model: an access that misses L1 may still hit the off-chip
+// L2 the paper mentions ("this scan will involve traffic at least to an
+// off-chip cache. In many systems, the scan will require accesses to real
+// memory", §3.1).
+type Hierarchy struct {
+	// L1 and L2 are the cache levels; L2 is inclusive of nothing (each
+	// level tracks its own contents — a victim-style simplification).
+	L1, L2 *Cache
+	// L1Cycles, L2Cycles, MemCycles are the access costs per level.
+	// 1992-era flavour: 1 / 8 / 30.
+	L1Cycles, L2Cycles, MemCycles float64
+	// Cycles accumulates the estimated cost.
+	Cycles float64
+	// Accesses counts line accesses.
+	Accesses uint64
+}
+
+// Era1992L2 approximates an off-chip board cache of the era: 256 KiB,
+// 32-byte lines, direct-mapped... generously 2-way.
+var Era1992L2 = CacheConfig{SizeBytes: 256 << 10, LineBytes: 32, Ways: 2}
+
+// NewHierarchy builds a two-level hierarchy.
+func NewHierarchy(l1, l2 CacheConfig) (*Hierarchy, error) {
+	c1, err := NewCache(l1)
+	if err != nil {
+		return nil, fmt.Errorf("cachesim: L1: %w", err)
+	}
+	c2, err := NewCache(l2)
+	if err != nil {
+		return nil, fmt.Errorf("cachesim: L2: %w", err)
+	}
+	return &Hierarchy{L1: c1, L2: c2, L1Cycles: 1, L2Cycles: 8, MemCycles: 30}, nil
+}
+
+// Access touches addr, charging the first level that hits (memory if
+// none). Both levels are updated, as with an ordinary fill path.
+func (h *Hierarchy) Access(addr uint64) {
+	h.Accesses++
+	if h.L1.Access(addr) {
+		h.Cycles += h.L1Cycles
+		// An L1 hit leaves L2 untouched (no back-invalidate modeling).
+		return
+	}
+	if h.L2.Access(addr) {
+		h.Cycles += h.L2Cycles
+		return
+	}
+	h.Cycles += h.MemCycles
+}
+
+// CyclesPerAccess returns the average cost per line access.
+func (h *Hierarchy) CyclesPerAccess() float64 {
+	if h.Accesses == 0 {
+		return 0
+	}
+	return h.Cycles / float64(h.Accesses)
+}
+
+// WalkPCBs charges a scan over the given PCB base addresses (one line
+// each), returning the cycles this walk cost.
+func (h *Hierarchy) WalkPCBs(addrs []uint64) float64 {
+	before := h.Cycles
+	for _, a := range addrs {
+		h.Access(a)
+	}
+	return h.Cycles - before
+}

@@ -1,0 +1,95 @@
+package cachesim
+
+import (
+	"testing"
+
+	"tcpdemux/internal/rng"
+)
+
+func mustHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(Era1992, Era1992L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := mustHierarchy(t)
+	h.Access(0) // cold: memory
+	if h.Cycles != 30 {
+		t.Fatalf("cold access cost %v", h.Cycles)
+	}
+	h.Access(0) // L1 hit
+	if h.Cycles != 31 {
+		t.Fatalf("after L1 hit: %v", h.Cycles)
+	}
+	// Evict from tiny L1 by touching 16 KiB of conflicting lines; line 0
+	// survives in the 256 KiB L2.
+	for a := uint64(32); a < 16<<10; a += 32 {
+		h.Access(a)
+	}
+	before := h.Cycles
+	h.Access(0)
+	if got := h.Cycles - before; got != h.L2Cycles {
+		t.Fatalf("expected L2 hit (%v cycles), got %v", h.L2Cycles, got)
+	}
+}
+
+func TestHierarchyBadConfigs(t *testing.T) {
+	bad := CacheConfig{SizeBytes: 100, LineBytes: 32, Ways: 2}
+	if _, err := NewHierarchy(bad, Era1992L2); err == nil {
+		t.Fatal("bad L1 accepted")
+	}
+	if _, err := NewHierarchy(Era1992, bad); err == nil {
+		t.Fatal("bad L2 accepted")
+	}
+}
+
+// TestScanCostsBracketedByLevels reproduces §3.1's claim hierarchy-wise:
+// 2,000 PCBs (512 KiB) exceed even the off-chip cache, so a repeated full
+// scan pays mostly L2-to-memory costs; 100 PCBs (25 KiB) fit in L2 and
+// settle at L2 speed; 25 PCBs (6 KiB) fit on chip.
+func TestScanCostsBracketedByLevels(t *testing.T) {
+	src := rng.New(3)
+	costPerPCB := func(n int) float64 {
+		h := mustHierarchy(t)
+		addrs := make([]uint64, n)
+		perm := src.Perm(n)
+		for i, p := range perm {
+			addrs[i] = uint64(p) * 256
+		}
+		// Warm, then measure three full scans.
+		h.WalkPCBs(addrs)
+		total := 0.0
+		for pass := 0; pass < 3; pass++ {
+			total += h.WalkPCBs(addrs)
+		}
+		return total / float64(3*n)
+	}
+	small := costPerPCB(25)
+	medium := costPerPCB(100)
+	large := costPerPCB(2000)
+	if small > 2 {
+		t.Fatalf("on-chip scan cost %v, want ≈ L1", small)
+	}
+	if medium <= small || medium > 10 {
+		t.Fatalf("L2-resident scan cost %v", medium)
+	}
+	if large <= medium {
+		t.Fatalf("memory-bound scan cost %v not above L2-resident %v", large, medium)
+	}
+}
+
+func TestCyclesPerAccess(t *testing.T) {
+	h := mustHierarchy(t)
+	if h.CyclesPerAccess() != 0 {
+		t.Fatal("empty hierarchy should report 0")
+	}
+	h.Access(0)
+	h.Access(0)
+	if got := h.CyclesPerAccess(); got != 15.5 {
+		t.Fatalf("mean = %v, want (30+1)/2", got)
+	}
+}

@@ -1,0 +1,215 @@
+// Package churn measures demultiplexing under connection turnover. The
+// paper's TPC/A analysis holds the connection population fixed; real OLTP
+// front ends also open and close connections, and every closed connection
+// lingers in TIME_WAIT for two maximum segment lifetimes, still occupying
+// its place in the PCB table. On a busy server the lookup structures carry
+// a standing crowd of dead PCBs — pure chain-lengthening load that the
+// one-entry caches can never hit.
+//
+// The workload keeps a target number of live sessions; each session opens
+// a fresh connection (insert), runs a few transaction cycles (lookups),
+// closes, lingers in TIME_WAIT (still inserted), and is reaped (remove).
+// A replacement session with a new ephemeral port starts immediately, so
+// the live population stays constant while the total PCB population
+// carries the TIME_WAIT tail on top.
+package churn
+
+import (
+	"errors"
+	"fmt"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/sim"
+	"tcpdemux/internal/stats"
+	"tcpdemux/internal/wire"
+)
+
+// Config parameterizes a churn run.
+type Config struct {
+	// Sessions is the steady-state number of live connections.
+	Sessions int
+	// TxnsPerSession is how many transaction cycles each connection runs
+	// before closing (default 5).
+	TxnsPerSession int
+	// ThinkMean is the per-transaction think time mean in seconds
+	// (default 10, exponential — short sessions, TPC/A-style pacing).
+	ThinkMean float64
+	// ResponseTime is R (default 0.2 s).
+	ResponseTime float64
+	// RTT is D (default 1 ms).
+	RTT float64
+	// TimeWaitLinger is how long a closed PCB stays in the table before
+	// the reaper removes it (default 60 s ≈ 2MSL of the era).
+	TimeWaitLinger float64
+	// MeasuredSessions is how many completed sessions to measure
+	// (default 10 per steady-state slot).
+	MeasuredSessions int
+	// Seed seeds the RNG.
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.TxnsPerSession == 0 {
+		c.TxnsPerSession = 5
+	}
+	if c.ThinkMean == 0 {
+		c.ThinkMean = 10
+	}
+	if c.ResponseTime == 0 {
+		c.ResponseTime = 0.2
+	}
+	if c.RTT == 0 {
+		c.RTT = 0.001
+	}
+	if c.TimeWaitLinger == 0 {
+		c.TimeWaitLinger = 60
+	}
+	if c.MeasuredSessions == 0 {
+		c.MeasuredSessions = 10 * c.Sessions
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sessions < 1 {
+		return errors.New("churn: need at least one session")
+	}
+	if c.ThinkMean < 0 || c.ResponseTime < 0 || c.RTT < 0 || c.TimeWaitLinger < 0 {
+		return errors.New("churn: negative timing parameter")
+	}
+	return nil
+}
+
+// Result carries the measurements.
+type Result struct {
+	Algorithm string
+	Config    Config
+	// Examined aggregates PCBs examined per inbound packet.
+	Examined stats.Summary
+	// Population samples the total PCB count (live + TIME_WAIT) at each
+	// transaction arrival.
+	Population stats.Summary
+	// TimeWait samples the TIME_WAIT share of the population.
+	TimeWait stats.Summary
+	// SessionsCompleted counts sessions that ran to reaping.
+	SessionsCompleted uint64
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: live=%d mean-examined=%.1f population=%.0f (%.0f in TIME_WAIT)",
+		r.Algorithm, r.Config.Sessions, r.Examined.Mean(), r.Population.Mean(), r.TimeWait.Mean())
+}
+
+// sessionKey returns the key for the id-th session ever started: a
+// rotating ephemeral port space over a pool of client addresses, as a
+// front-end farm would produce.
+func sessionKey(id int) core.Key {
+	return core.Key{
+		LocalAddr:  wire.MakeAddr(10, 0, 0, 1),
+		LocalPort:  1521,
+		RemoteAddr: wire.MakeAddr(10, 4, byte(id/61000>>8), byte(id/61000)),
+		RemotePort: uint16(1024 + id%61000),
+	}
+}
+
+// Run drives the demuxer with the churn workload.
+func Run(d core.Demuxer, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	res := &Result{Algorithm: d.Name(), Config: cfg}
+
+	var (
+		kernel    sim.Sim
+		nextID    int
+		completed uint64
+		target    = uint64(cfg.MeasuredSessions)
+		timeWait  int
+		schedErr  error
+	)
+	schedule := func(delay float64, ev sim.Event) {
+		if schedErr != nil {
+			return
+		}
+		if _, err := kernel.After(delay, ev); err != nil {
+			schedErr = err
+		}
+	}
+
+	var startSession func() sim.Event
+	startSession = func() sim.Event {
+		id := nextID
+		nextID++
+		key := sessionKey(id)
+		pcb := core.NewPCB(key)
+		return func(now float64) {
+			if completed >= target {
+				return
+			}
+			if err := d.Insert(pcb); err != nil {
+				schedErr = fmt.Errorf("churn: session %d: %w", id, err)
+				return
+			}
+			var txn func(remaining int) sim.Event
+			txn = func(remaining int) sim.Event {
+				return func(float64) {
+					if schedErr != nil {
+						return
+					}
+					// Transaction arrival.
+					r := d.Lookup(key, core.DirData)
+					if r.PCB != pcb {
+						schedErr = fmt.Errorf("churn: session %d lost its PCB", id)
+						return
+					}
+					res.Examined.Add(float64(r.Examined))
+					res.Population.Add(float64(d.Len()))
+					res.TimeWait.Add(float64(timeWait))
+					d.NotifySend(pcb) // query ack
+					schedule(cfg.ResponseTime, func(float64) {
+						d.NotifySend(pcb) // response
+						schedule(cfg.RTT, func(float64) {
+							ar := d.Lookup(key, core.DirAck)
+							if ar.PCB != pcb {
+								schedErr = fmt.Errorf("churn: session %d lost its PCB on ack", id)
+								return
+							}
+							res.Examined.Add(float64(ar.Examined))
+							if remaining > 1 {
+								schedule(src.Exp(cfg.ThinkMean), txn(remaining-1))
+								return
+							}
+							// Close: PCB lingers in TIME_WAIT, a fresh
+							// session takes the live slot immediately.
+							pcb.State = core.StateTimeWait
+							timeWait++
+							schedule(cfg.TimeWaitLinger, func(float64) {
+								d.Remove(key)
+								timeWait--
+								completed++
+							})
+							schedule(src.Exp(cfg.ThinkMean), startSession())
+						})
+					})
+				}
+			}
+			schedule(src.Exp(cfg.ThinkMean), txn(cfg.TxnsPerSession))
+		}
+	}
+
+	for i := 0; i < cfg.Sessions; i++ {
+		schedule(src.Float64()*cfg.ThinkMean, startSession())
+	}
+	kernel.Run()
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	res.SessionsCompleted = completed
+	return res, nil
+}

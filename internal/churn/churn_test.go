@@ -1,0 +1,132 @@
+package churn
+
+import (
+	"testing"
+
+	"tcpdemux/internal/core"
+)
+
+func run(t *testing.T, algo string, cfg Config) *Result {
+	t.Helper()
+	d, err := core.New(algo, core.Config{Chains: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTimeWaitCrowdAccumulates(t *testing.T) {
+	// 100 live sessions, 5 txns each (~52 s lifetime), 60 s linger:
+	// the standing TIME_WAIT crowd should be comparable to the live
+	// population, so the mean total population clearly exceeds it.
+	cfg := Config{Sessions: 100, MeasuredSessions: 600, Seed: 1}
+	r := run(t, "map", cfg)
+	if r.Population.Mean() < 130 {
+		t.Fatalf("population %.1f shows no TIME_WAIT crowd", r.Population.Mean())
+	}
+	if r.TimeWait.Mean() < 30 {
+		t.Fatalf("mean TIME_WAIT %.1f too small", r.TimeWait.Mean())
+	}
+	if r.SessionsCompleted < 600 {
+		t.Fatalf("completed %d sessions", r.SessionsCompleted)
+	}
+}
+
+func TestZeroLingerNoCrowd(t *testing.T) {
+	cfg := Config{Sessions: 50, MeasuredSessions: 300, TimeWaitLinger: 1e-9, Seed: 2}
+	r := run(t, "map", cfg)
+	if r.TimeWait.Mean() > 1 {
+		t.Fatalf("TIME_WAIT crowd %.2f despite instant reaping", r.TimeWait.Mean())
+	}
+	// Population ≈ live sessions.
+	if r.Population.Mean() > float64(cfg.Sessions)+5 {
+		t.Fatalf("population %.1f exceeds live sessions", r.Population.Mean())
+	}
+}
+
+// TestTimeWaitCrowdAgesOutOfBSDHitPath pins a subtle and real property of
+// head-inserted lists under churn: live connections are always younger
+// than the TIME_WAIT PCBs that closed before they opened, so the dead
+// crowd drifts toward the back of the list and the *hit* path's mean cost
+// tracks roughly half the live population, not half the bloated total.
+// The bloat is paid by the deep scans — the per-lookup maximum approaches
+// the full population — and by memory.
+func TestTimeWaitCrowdAgesOutOfBSDHitPath(t *testing.T) {
+	cfg := Config{Sessions: 100, MeasuredSessions: 500, Seed: 3}
+	d := core.NewBSDList()
+	bsd, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := float64(cfg.Sessions)
+	if m := bsd.Examined.Mean(); m < live/2*0.8 || m > bsd.Population.Mean()/2*1.2 {
+		t.Fatalf("BSD hit-path mean %.1f outside (live/2=%.0f, total/2=%.0f) band",
+			m, live/2, bsd.Population.Mean()/2)
+	}
+	// Deep scans still traverse the dead crowd.
+	if max := float64(d.Stats().MaxExamined); max < bsd.Population.Mean()*0.8 {
+		t.Fatalf("max scan %v never reached the bloated population %.0f",
+			max, bsd.Population.Mean())
+	}
+}
+
+// TestSequentStillFarAheadUnderChurn: churn or not, the order-of-magnitude
+// gap holds.
+func TestSequentStillFarAheadUnderChurn(t *testing.T) {
+	cfg := Config{Sessions: 100, MeasuredSessions: 500, Seed: 3}
+	bsd := run(t, "bsd", cfg)
+	seq := run(t, "sequent", cfg)
+	if ratio := bsd.Examined.Mean() / seq.Examined.Mean(); ratio < 8 {
+		t.Fatalf("Sequent advantage only %.1fx under churn", ratio)
+	}
+}
+
+func TestChurnExercisesInsertRemove(t *testing.T) {
+	cfg := Config{Sessions: 20, MeasuredSessions: 200, Seed: 4}
+	d := core.NewSequentHash(19, nil)
+	r, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SessionsCompleted < 200 {
+		t.Fatalf("completed %d", r.SessionsCompleted)
+	}
+	// After the run drains, only the sessions still mid-flight or in
+	// TIME_WAIT remain; the table must be far below total-ever-inserted.
+	if d.Len() > 3*cfg.Sessions+int(r.TimeWait.Max()) {
+		t.Fatalf("table leaked: %d PCBs", d.Len())
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	if _, err := Run(core.NewMapDemux(), Config{}); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+	if _, err := Run(core.NewMapDemux(), Config{Sessions: 1, RTT: -1}); err == nil {
+		t.Fatal("negative RTT accepted")
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := Config{Sessions: 10, MeasuredSessions: 50, Seed: 5}
+	a := run(t, "sr", cfg)
+	b := run(t, "sr", cfg)
+	if a.Examined.Mean() != b.Examined.Mean() || a.SessionsCompleted != b.SessionsCompleted {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestSessionKeysDistinctWithinRun(t *testing.T) {
+	seen := map[core.Key]bool{}
+	for i := 0; i < 100000; i++ {
+		k := sessionKey(i)
+		if seen[k] {
+			t.Fatalf("key collision at session %d", i)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,198 @@
+package connid
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/tpca"
+	"tcpdemux/internal/wire"
+)
+
+// frameFor builds a data frame for key k carrying the given ID option.
+func frameFor(t testing.TB, k core.Key, id uint32, withOpt bool) []byte {
+	t.Helper()
+	tu := k.Tuple()
+	tcp := wire.TCPHeader{
+		SrcPort: tu.SrcPort, DstPort: tu.DstPort,
+		Seq: 100, Ack: 200, Flags: wire.FlagACK | wire.FlagPSH,
+	}
+	if withOpt {
+		tcp.Options = []wire.TCPOption{Option(id)}
+	}
+	frame, err := wire.BuildSegment(
+		wire.IPv4Header{TTL: 64, Src: tu.SrcAddr, Dst: tu.DstAddr},
+		tcp, []byte("query"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestOptionRoundTrip(t *testing.T) {
+	f := func(id uint32) bool {
+		got, ok := FromOptions([]wire.TCPOption{Option(id)})
+		return ok && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromOptionsAbsent(t *testing.T) {
+	if _, ok := FromOptions([]wire.TCPOption{wire.MSSOption(1460)}); ok {
+		t.Fatal("found an ID in an MSS option")
+	}
+	if _, ok := FromOptions(nil); ok {
+		t.Fatal("found an ID in no options")
+	}
+}
+
+func TestExtractIDFromWire(t *testing.T) {
+	k := tpca.UserKey(3)
+	frame := frameFor(t, k, 0xdeadbeef, true)
+	id, err := ExtractID(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0xdeadbeef {
+		t.Fatalf("id = %#x", id)
+	}
+	// Cross-check against the full parser.
+	seg, err := wire.ParseSegment(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, ok := FromOptions(seg.TCP.Options)
+	if !ok || full != id {
+		t.Fatalf("full parse id = %#x, %v", full, ok)
+	}
+}
+
+func TestExtractIDSkipsOtherOptions(t *testing.T) {
+	k := tpca.UserKey(4)
+	tu := k.Tuple()
+	tcp := wire.TCPHeader{
+		SrcPort: tu.SrcPort, DstPort: tu.DstPort, Flags: wire.FlagACK,
+		Options: []wire.TCPOption{wire.MSSOption(1460), Option(42)},
+	}
+	frame, err := wire.BuildSegment(
+		wire.IPv4Header{TTL: 64, Src: tu.SrcAddr, Dst: tu.DstAddr}, tcp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ExtractID(frame)
+	if err != nil || id != 42 {
+		t.Fatalf("id = %d, err = %v", id, err)
+	}
+}
+
+func TestExtractIDErrors(t *testing.T) {
+	k := tpca.UserKey(5)
+	noOpt := frameFor(t, k, 0, false)
+	if _, err := ExtractID(noOpt); !errors.Is(err, ErrNoID) {
+		t.Fatalf("no-option frame: %v", err)
+	}
+	if _, err := ExtractID(noOpt[:10]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestExtractIDNoAlloc(t *testing.T) {
+	frame := frameFor(t, tpca.UserKey(6), 7, true)
+	n := testing.AllocsPerRun(100, func() {
+		if _, err := ExtractID(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("ExtractID allocates %v per run", n)
+	}
+}
+
+func TestExtractIDNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic: %v", r)
+			}
+		}()
+		_, _ = ExtractID(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableEndToEnd(t *testing.T) {
+	tbl := NewTable()
+	const n = 2000
+	ids := make([]uint32, n)
+	pcbs := make([]*core.PCB, n)
+	for i := 0; i < n; i++ {
+		pcb, id, err := tbl.Open(tpca.UserKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i], pcbs[i] = id, pcb
+	}
+	if tbl.Len() != n {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	// Data frames carrying the negotiated ID demux in exactly one
+	// examination regardless of the 2,000-connection population.
+	for i := 0; i < n; i += 97 {
+		frame := frameFor(t, tpca.UserKey(i), ids[i], true)
+		pcb, err := tbl.DemuxFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pcb != pcbs[i] {
+			t.Fatalf("frame %d demuxed to wrong PCB", i)
+		}
+	}
+	if m := tbl.Stats().MeanExamined(); m != 1 {
+		t.Fatalf("mean examined = %v, want exactly 1", m)
+	}
+	// A SYN-like frame without the option falls back to the tuple path.
+	pcb, err := tbl.DemuxFrame(frameFor(t, tpca.UserKey(0), 0, false))
+	if err != nil || pcb != pcbs[0] {
+		t.Fatalf("fallback path: %v, %v", pcb, err)
+	}
+}
+
+func TestTableUnknownID(t *testing.T) {
+	tbl := NewTable()
+	if _, _, err := tbl.Open(tpca.UserKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	frame := frameFor(t, tpca.UserKey(0), 999, true)
+	if _, err := tbl.DemuxFrame(frame); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("unknown ID: %v", err)
+	}
+}
+
+func TestTableCloseRecyclesIDs(t *testing.T) {
+	tbl := NewTable()
+	_, id0, err := tbl.Open(tpca.UserKey(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Close(tpca.UserKey(0)) {
+		t.Fatal("close failed")
+	}
+	// A stale frame carrying the dead ID must not resolve.
+	if _, err := tbl.DemuxFrame(frameFor(t, tpca.UserKey(0), id0, true)); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("stale ID resolved: %v", err)
+	}
+	_, id1, err := tbl.Open(tpca.UserKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id0 {
+		t.Fatalf("ID not recycled: %d vs %d", id1, id0)
+	}
+}

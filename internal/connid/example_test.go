@@ -1,0 +1,44 @@
+package connid_test
+
+import (
+	"fmt"
+
+	"tcpdemux/internal/connid"
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/wire"
+)
+
+// The TP4/X.25/XTP pattern §3.5 describes: negotiate an ID at open, carry
+// it in every data packet, demultiplex by array index.
+func ExampleTable() {
+	tbl := connid.NewTable()
+	k := core.Key{
+		LocalAddr: wire.MakeAddr(10, 0, 0, 1), LocalPort: 1521,
+		RemoteAddr: wire.MakeAddr(10, 1, 0, 5), RemotePort: 31005,
+	}
+	_, id, err := tbl.Open(k)
+	if err != nil {
+		panic(err)
+	}
+
+	// The peer echoes the negotiated ID as a TCP option on every segment.
+	tu := k.Tuple()
+	frame, err := wire.BuildSegment(
+		wire.IPv4Header{TTL: 64, Src: tu.SrcAddr, Dst: tu.DstAddr},
+		wire.TCPHeader{
+			SrcPort: tu.SrcPort, DstPort: tu.DstPort,
+			Flags:   wire.FlagACK | wire.FlagPSH,
+			Options: []wire.TCPOption{connid.Option(id)},
+		},
+		[]byte("SELECT 1"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	pcb, err := tbl.DemuxFrame(frame)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pcb != nil, tbl.Stats().MeanExamined())
+	// Output: true 1
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"tcpdemux/internal/wire"
+)
+
+// Adversarial key tests: populations of keys that differ in exactly one
+// field. A demuxer comparing only part of the key (a classic hashed-table
+// bug: matching on the hash, or on addresses but not ports) resolves these
+// to the wrong PCB.
+
+// nearCollisions returns a base key plus variants differing in exactly one
+// component each, including single-bit differences.
+func nearCollisions() []Key {
+	base := Key{
+		LocalAddr: addr(10, 0, 0, 1), LocalPort: 1521,
+		RemoteAddr: addr(10, 1, 2, 3), RemotePort: 31000,
+	}
+	variants := []Key{base}
+	v := base
+	v.RemotePort = 31001 // +1 port
+	variants = append(variants, v)
+	v = base
+	v.RemotePort = 31000 ^ 0x8000 // high-bit port
+	variants = append(variants, v)
+	v = base
+	v.RemoteAddr = addr(10, 1, 2, 2) // -1 addr
+	variants = append(variants, v)
+	v = base
+	v.RemoteAddr = addr(138, 1, 2, 3) // high-bit addr
+	variants = append(variants, v)
+	v = base
+	v.LocalPort = 1522
+	variants = append(variants, v)
+	v = base
+	v.LocalAddr = addr(10, 0, 0, 2)
+	variants = append(variants, v)
+	// Swapped local/remote addresses (the xor-fold symmetry hazard).
+	variants = append(variants, Key{
+		LocalAddr: base.RemoteAddr, LocalPort: base.LocalPort,
+		RemoteAddr: base.LocalAddr, RemotePort: base.RemotePort,
+	})
+	// Swapped ports.
+	variants = append(variants, Key{
+		LocalAddr: base.LocalAddr, LocalPort: base.RemotePort,
+		RemoteAddr: base.RemoteAddr, RemotePort: base.LocalPort,
+	})
+	return variants
+}
+
+func TestNearCollisionKeysResolveExactly(t *testing.T) {
+	keys := nearCollisions()
+	for _, d := range allDemuxers(t) {
+		t.Run(d.Name(), func(t *testing.T) {
+			pcbs := make([]*PCB, len(keys))
+			for i, k := range keys {
+				pcbs[i] = NewPCB(k)
+				if err := d.Insert(pcbs[i]); err != nil {
+					t.Fatalf("insert %d (%v): %v", i, k, err)
+				}
+			}
+			for i, k := range keys {
+				r := d.Lookup(k, DirData)
+				if r.PCB != pcbs[i] {
+					t.Fatalf("key %d (%v) resolved to %v", i, k, r.PCB)
+				}
+			}
+			// Remove one variant; its near neighbours must be unaffected
+			// and the removed key must now miss.
+			if !d.Remove(keys[1]) {
+				t.Fatal("remove failed")
+			}
+			if r := d.Lookup(keys[1], DirData); r.PCB != nil {
+				t.Fatalf("removed key still resolves to %v", r.PCB)
+			}
+			for i, k := range keys {
+				if i == 1 {
+					continue
+				}
+				if r := d.Lookup(k, DirData); r.PCB != pcbs[i] {
+					t.Fatalf("neighbour %d damaged by removal", i)
+				}
+			}
+		})
+	}
+}
+
+// TestStatsConsistency checks the counter invariants every implementation
+// must maintain: Lookups = hits-by-cache + misses + found-without-cache,
+// and Examined totals the per-lookup counts.
+func TestStatsConsistency(t *testing.T) {
+	for _, d := range allDemuxers(t) {
+		t.Run(d.Name(), func(t *testing.T) {
+			const n = 64
+			for i := 0; i < n; i++ {
+				if err := d.Insert(NewPCB(connKey(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			src := newTestRNG(7)
+			var lookups, examined uint64
+			for i := 0; i < 5000; i++ {
+				k := connKey(src.Intn(2 * n)) // half the keys miss
+				r := d.Lookup(k, Direction(i%2))
+				lookups++
+				examined += uint64(r.Examined)
+			}
+			st := d.Stats()
+			if st.Lookups != lookups {
+				t.Fatalf("Lookups = %d, want %d", st.Lookups, lookups)
+			}
+			if st.Examined != examined {
+				t.Fatalf("Examined = %d, want %d", st.Examined, examined)
+			}
+			if st.Hits+st.Misses > st.Lookups {
+				t.Fatalf("hits %d + misses %d exceed lookups %d", st.Hits, st.Misses, st.Lookups)
+			}
+			if st.MaxExamined < 1 || uint64(st.MaxExamined) > examined {
+				t.Fatalf("MaxExamined = %d implausible", st.MaxExamined)
+			}
+			if st.MeanExamined() != float64(examined)/float64(lookups) {
+				t.Fatalf("MeanExamined inconsistent")
+			}
+		})
+	}
+}
+
+// TestZeroPortAndZeroAddrConnections: port 0 and addr 0.0.0.0 are wildcard
+// markers in keys; an "exact" key accidentally containing them must behave
+// as a listener, not corrupt the connected tables.
+func TestWildcardMarkerFieldsRouteToListenPath(t *testing.T) {
+	for _, d := range allDemuxers(t) {
+		t.Run(d.Name(), func(t *testing.T) {
+			halfWild := Key{
+				LocalAddr: addr(10, 0, 0, 1), LocalPort: 80,
+				RemoteAddr: addr(10, 9, 9, 9), RemotePort: 0, // wildcard port
+			}
+			p := NewListenPCB(halfWild)
+			if err := d.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			// A packet from that remote addr on any port matches it.
+			pkt := halfWild
+			pkt.RemotePort = 5555
+			r := d.Lookup(pkt, DirData)
+			if r.PCB != p || !r.Wildcard {
+				t.Fatalf("half-wild key: %+v", r)
+			}
+			// A packet from a different remote addr does not.
+			pkt.RemoteAddr = addr(1, 1, 1, 1)
+			if r := d.Lookup(pkt, DirData); r.PCB != nil {
+				t.Fatalf("half-wild key matched wrong remote: %+v", r)
+			}
+			if !d.Remove(halfWild) {
+				t.Fatal("half-wild remove failed")
+			}
+		})
+	}
+}
+
+// TestManyListenersPrecedence: with several overlapping listeners the most
+// specific must always win, in every algorithm.
+func TestManyListenersPrecedence(t *testing.T) {
+	local := addr(10, 0, 0, 1)
+	remote := addr(172, 16, 5, 5)
+	for _, d := range allDemuxers(t) {
+		t.Run(d.Name(), func(t *testing.T) {
+			anyL := NewListenPCB(ListenKey(wire.Addr{}, 443))
+			addrL := NewListenPCB(ListenKey(local, 443))
+			remL := NewListenPCB(Key{LocalAddr: local, LocalPort: 443, RemoteAddr: remote})
+			for _, p := range []*PCB{anyL, addrL, remL} {
+				if err := d.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pkt := Key{LocalAddr: local, LocalPort: 443, RemoteAddr: remote, RemotePort: 999}
+			if r := d.Lookup(pkt, DirData); r.PCB != remL {
+				t.Fatalf("remote-pinned listener should win, got %v", r.PCB)
+			}
+			pkt.RemoteAddr = addr(8, 8, 8, 8)
+			if r := d.Lookup(pkt, DirData); r.PCB != addrL {
+				t.Fatalf("addr-bound listener should win, got %v", r.PCB)
+			}
+			pkt.LocalAddr = addr(10, 0, 0, 99)
+			if r := d.Lookup(pkt, DirData); r.PCB != anyL {
+				t.Fatalf("any-addr listener should win, got %v", r.PCB)
+			}
+		})
+	}
+}

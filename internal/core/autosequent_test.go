@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"tcpdemux/internal/stats"
+)
+
+func TestAutoSequentGrows(t *testing.T) {
+	d := NewAutoSequent(4, 8, nil) // grow past 32, 64, 128, ...
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := d.Insert(NewPCB(connKey(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Rehashes == 0 {
+		t.Fatal("never grew")
+	}
+	// Load factor must be at or below the threshold.
+	if load := float64(n) / float64(d.NumChains()); load > 8 {
+		t.Fatalf("load factor %v above threshold", load)
+	}
+	// Every PCB must survive every rehash.
+	for i := 0; i < n; i++ {
+		if r := d.Lookup(connKey(i), DirData); r.PCB == nil {
+			t.Fatalf("PCB %d lost after rehash", i)
+		}
+	}
+	// Amortized rehash work is O(1) per insert: total moves < 2N for
+	// doubling growth.
+	if d.RehashExaminations > 2*n {
+		t.Fatalf("rehash moved %d PCBs for %d inserts", d.RehashExaminations, n)
+	}
+}
+
+func TestAutoSequentBoundedCost(t *testing.T) {
+	d := NewAutoSequent(4, DefaultMaxLoad, nil)
+	fixed := NewSequentHash(4, nil)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := d.Insert(NewPCB(connKey(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := fixed.Insert(NewPCB(connKey(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := newTestRNG(3)
+	for i := 0; i < 20000; i++ {
+		k := connKey(src.Intn(n))
+		d.Lookup(k, DirData)
+		fixed.Lookup(k, DirData)
+	}
+	auto := d.Stats().MeanExamined()
+	fix := fixed.Stats().MeanExamined()
+	// Auto table stays near (maxLoad+1)/2 + cache probe; the fixed
+	// 4-chain table degrades toward N/8.
+	if auto > DefaultMaxLoad {
+		t.Fatalf("auto-sequent mean %v exceeds load bound", auto)
+	}
+	if fix < 10*auto {
+		t.Fatalf("fixed table %v not clearly worse than auto %v", fix, auto)
+	}
+}
+
+func TestAutoSequentStatsPointerStableAcrossGrowth(t *testing.T) {
+	d := NewAutoSequent(2, 4, nil)
+	st := d.Stats()
+	for i := 0; i < 100; i++ {
+		if err := d.Insert(NewPCB(connKey(i))); err != nil {
+			t.Fatal(err)
+		}
+		d.Lookup(connKey(i), DirData)
+	}
+	if d.Rehashes == 0 {
+		t.Fatal("expected growth")
+	}
+	if st != d.Stats() || st.Lookups != 100 {
+		t.Fatalf("stats pointer went stale across rehash: %v vs %v", st, d.Stats())
+	}
+}
+
+func TestAutoSequentListenersSurviveGrowth(t *testing.T) {
+	d := NewAutoSequent(2, 4, nil)
+	listener := NewListenPCB(ListenKey(addr(10, 0, 0, 1), 1521))
+	if err := d.Insert(listener); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := d.Insert(NewPCB(connKey(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A SYN to the listening port still resolves after several growths.
+	syn := Key{LocalAddr: addr(10, 0, 0, 1), LocalPort: 1521,
+		RemoteAddr: addr(99, 9, 9, 9), RemotePort: 7777}
+	if r := d.Lookup(syn, DirData); r.PCB != listener {
+		t.Fatalf("listener lost across growth: %+v", r)
+	}
+}
+
+func TestAutoSequentChainsStayBalanced(t *testing.T) {
+	d := NewAutoSequent(0, 0, nil)
+	for i := 0; i < 3000; i++ {
+		if err := d.Insert(NewPCB(connKey(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cv := stats.CoefficientOfVariation(d.ChainLengths()); cv > 0.6 {
+		t.Fatalf("post-rehash imbalance CV = %v", cv)
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/wire"
+)
+
+// allDemuxers builds one instance of every registered algorithm.
+func allDemuxers(t testing.TB) []Demuxer {
+	t.Helper()
+	var out []Demuxer
+	for _, name := range Algorithms() {
+		d, err := New(name, Config{Chains: 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestConformanceInsertLookupRemove runs the shared contract against every
+// algorithm: inserted PCBs are found exactly, removed PCBs are not, and
+// the examined count stays within the population bound.
+func TestConformanceInsertLookupRemove(t *testing.T) {
+	const n = 200
+	for _, d := range allDemuxers(t) {
+		t.Run(d.Name(), func(t *testing.T) {
+			pcbs := make([]*PCB, n)
+			for i := range pcbs {
+				pcbs[i] = NewPCB(connKey(i))
+				if err := d.Insert(pcbs[i]); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			if d.Len() != n {
+				t.Fatalf("Len = %d, want %d", d.Len(), n)
+			}
+			for i, p := range pcbs {
+				r := d.Lookup(p.Key, DirData)
+				if r.PCB != p {
+					t.Fatalf("lookup %d returned %v", i, r.PCB)
+				}
+				if r.Wildcard {
+					t.Fatalf("exact lookup %d flagged wildcard", i)
+				}
+				if r.Examined < 1 || r.Examined > n+2 {
+					t.Fatalf("lookup %d examined %d PCBs (population %d)", i, r.Examined, n)
+				}
+			}
+			// Remove every other PCB and re-verify.
+			for i := 0; i < n; i += 2 {
+				if !d.Remove(pcbs[i].Key) {
+					t.Fatalf("remove %d failed", i)
+				}
+			}
+			if d.Len() != n/2 {
+				t.Fatalf("Len after removal = %d", d.Len())
+			}
+			for i, p := range pcbs {
+				r := d.Lookup(p.Key, DirAck)
+				if i%2 == 0 && r.PCB != nil {
+					t.Fatalf("removed PCB %d still found", i)
+				}
+				if i%2 == 1 && r.PCB != p {
+					t.Fatalf("surviving PCB %d lost", i)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceDuplicateInsert(t *testing.T) {
+	for _, d := range allDemuxers(t) {
+		t.Run(d.Name(), func(t *testing.T) {
+			p := NewPCB(connKey(1))
+			if err := d.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Insert(NewPCB(connKey(1))); err != ErrDuplicateKey {
+				t.Fatalf("duplicate insert: %v", err)
+			}
+			l := NewListenPCB(ListenKey(addr(10, 0, 0, 1), 80))
+			if err := d.Insert(l); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Insert(NewListenPCB(l.Key)); err != ErrDuplicateKey {
+				t.Fatalf("duplicate listener insert: %v", err)
+			}
+		})
+	}
+}
+
+func TestConformanceRemoveAbsent(t *testing.T) {
+	for _, d := range allDemuxers(t) {
+		if d.Remove(connKey(5)) {
+			t.Errorf("%s: removed a PCB that was never inserted", d.Name())
+		}
+		if d.Remove(ListenKey(addr(1, 2, 3, 4), 9)) {
+			t.Errorf("%s: removed an absent listener", d.Name())
+		}
+	}
+}
+
+func TestConformanceMissOnEmpty(t *testing.T) {
+	for _, d := range allDemuxers(t) {
+		r := d.Lookup(connKey(0), DirData)
+		if r.PCB != nil {
+			t.Errorf("%s: found a PCB in an empty table", d.Name())
+		}
+		if d.Stats().Misses != 1 {
+			t.Errorf("%s: miss not recorded", d.Name())
+		}
+	}
+}
+
+// TestConformanceWildcardFallback verifies the listen path: with no exact
+// match, a segment for a listening port resolves to the listener, and the
+// most specific listener wins.
+func TestConformanceWildcardFallback(t *testing.T) {
+	serverAddr := addr(10, 0, 0, 1)
+	for _, d := range allDemuxers(t) {
+		t.Run(d.Name(), func(t *testing.T) {
+			anyListener := NewListenPCB(ListenKey(wire.Addr{}, 1521))
+			boundListener := NewListenPCB(ListenKey(serverAddr, 1521))
+			if err := d.Insert(anyListener); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Insert(boundListener); err != nil {
+				t.Fatal(err)
+			}
+			// A few established connections as noise.
+			for i := 0; i < 10; i++ {
+				if err := d.Insert(NewPCB(connKey(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// SYN from an unknown client to the bound address.
+			syn := Key{LocalAddr: serverAddr, LocalPort: 1521,
+				RemoteAddr: addr(172, 16, 0, 9), RemotePort: 55555}
+			r := d.Lookup(syn, DirData)
+			if r.PCB != boundListener {
+				t.Fatalf("expected bound listener, got %v", r.PCB)
+			}
+			if !r.Wildcard {
+				t.Fatal("listener match not flagged wildcard")
+			}
+			// SYN to a different local address: only the any-listener matches.
+			syn2 := Key{LocalAddr: addr(10, 0, 0, 2), LocalPort: 1521,
+				RemoteAddr: addr(172, 16, 0, 9), RemotePort: 55556}
+			if r := d.Lookup(syn2, DirData); r.PCB != anyListener {
+				t.Fatalf("expected any-addr listener, got %v", r.PCB)
+			}
+			// SYN to a port nobody listens on: miss.
+			syn3 := syn
+			syn3.LocalPort = 9999
+			if r := d.Lookup(syn3, DirData); r.PCB != nil {
+				t.Fatalf("expected miss, got %v", r.PCB)
+			}
+		})
+	}
+}
+
+// TestConformanceStatsAccounting checks the Stats counters line up with
+// the operations performed.
+func TestConformanceStatsAccounting(t *testing.T) {
+	for _, d := range allDemuxers(t) {
+		t.Run(d.Name(), func(t *testing.T) {
+			p := NewPCB(connKey(0))
+			if err := d.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			d.Lookup(p.Key, DirData)     // hit (possibly via scan)
+			d.Lookup(p.Key, DirData)     // hit (cached where applicable)
+			d.Lookup(connKey(1), DirAck) // miss
+			s := d.Stats()
+			if s.Lookups != 3 {
+				t.Fatalf("lookups = %d", s.Lookups)
+			}
+			if s.Misses != 1 {
+				t.Fatalf("misses = %d", s.Misses)
+			}
+			// Hashed algorithms may examine zero PCBs on a miss to an empty
+			// chain; the two hits each cost at least one.
+			if s.Examined < 2 {
+				t.Fatalf("examined = %d", s.Examined)
+			}
+			if s.MeanExamined() <= 0 {
+				t.Fatal("mean examined not positive")
+			}
+			s.Reset()
+			if s.Lookups != 0 || s.Examined != 0 {
+				t.Fatal("reset did not clear stats")
+			}
+		})
+	}
+}
+
+// TestConformanceQuick drives random operation sequences against every
+// algorithm and an oracle map, checking they always agree on membership.
+func TestConformanceQuick(t *testing.T) {
+	for _, name := range Algorithms() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint16, seed uint64) bool {
+				d, err := New(name, Config{Chains: 7})
+				if err != nil {
+					return false
+				}
+				oracle := map[Key]*PCB{}
+				src := rng.New(seed)
+				for _, op := range ops {
+					k := connKey(int(op % 64)) // small key space forces collisions
+					switch src.Intn(3) {
+					case 0: // insert
+						p := NewPCB(k)
+						err := d.Insert(p)
+						if _, exists := oracle[k]; exists {
+							if err != ErrDuplicateKey {
+								return false
+							}
+						} else {
+							if err != nil {
+								return false
+							}
+							oracle[k] = p
+						}
+					case 1: // remove
+						removed := d.Remove(k)
+						_, exists := oracle[k]
+						if removed != exists {
+							return false
+						}
+						delete(oracle, k)
+					default: // lookup
+						r := d.Lookup(k, Direction(src.Intn(2)))
+						want := oracle[k]
+						if r.PCB != want {
+							return false
+						}
+						if want != nil && (r.Examined < 1 || r.Examined > len(oracle)+2) {
+							return false
+						}
+					}
+					if d.Len() != len(oracle) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := New("nope", Config{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	algos := Algorithms()
+	if len(algos) != 8 {
+		t.Fatalf("expected 8 algorithms, got %v", algos)
+	}
+	for _, n := range algos {
+		d, err := New(n, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name() == "" {
+			t.Fatalf("%s: empty Name()", n)
+		}
+	}
+}
+
+func TestPaperAlgorithms(t *testing.T) {
+	ds := PaperAlgorithms(Config{Chains: 19})
+	want := []string{"bsd", "mtf", "sr", "sequent-19"}
+	if len(ds) != len(want) {
+		t.Fatalf("got %d algorithms", len(ds))
+	}
+	for i, d := range ds {
+		if d.Name() != want[i] {
+			t.Errorf("algorithm %d = %s, want %s", i, d.Name(), want[i])
+		}
+	}
+}
+
+func ExampleDemuxer() {
+	d := NewSequentHash(19, nil)
+	k := Key{
+		LocalAddr: wire.MakeAddr(10, 0, 0, 1), LocalPort: 1521,
+		RemoteAddr: wire.MakeAddr(10, 1, 0, 5), RemotePort: 31005,
+	}
+	if err := d.Insert(NewPCB(k)); err != nil {
+		panic(err)
+	}
+	r := d.Lookup(k, DirData)
+	fmt.Println(r.PCB != nil, r.Examined)
+	// Output: true 1
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcpdemux/internal/rng"
+)
+
+// TestSequentH1EquivalentToBSD drives identical operation sequences
+// through the BSD list and a single-chain Sequent table. With one chain
+// the Sequent algorithm degenerates to exactly the BSD design — one linear
+// list with one cache — so every lookup must examine the same number of
+// PCBs and hit the cache identically. This pins the two implementations
+// to the shared semantics the paper's Eq. 19 ≡ Eq. 1 (H=1) identity
+// assumes.
+func TestSequentH1EquivalentToBSD(t *testing.T) {
+	bsd := NewBSDList()
+	seq := NewSequentHash(1, nil)
+	src := rng.New(11)
+	const keys = 64
+	for step := 0; step < 30000; step++ {
+		k := connKey(src.Intn(keys))
+		switch src.Intn(4) {
+		case 0:
+			be := bsd.Insert(NewPCB(k))
+			se := seq.Insert(NewPCB(k))
+			if (be == nil) != (se == nil) {
+				t.Fatalf("step %d: insert divergence: %v vs %v", step, be, se)
+			}
+		case 1:
+			if bsd.Remove(k) != seq.Remove(k) {
+				t.Fatalf("step %d: remove divergence", step)
+			}
+		default:
+			br := bsd.Lookup(k, DirData)
+			sr := seq.Lookup(k, DirData)
+			if (br.PCB == nil) != (sr.PCB == nil) {
+				t.Fatalf("step %d: membership divergence", step)
+			}
+			if br.Examined != sr.Examined || br.CacheHit != sr.CacheHit {
+				t.Fatalf("step %d: cost divergence: bsd (%d,%v) vs sequent-1 (%d,%v)",
+					step, br.Examined, br.CacheHit, sr.Examined, sr.CacheHit)
+			}
+		}
+		if bsd.Len() != seq.Len() {
+			t.Fatalf("step %d: length divergence %d vs %d", step, bsd.Len(), seq.Len())
+		}
+	}
+	bs, ss := bsd.Stats(), seq.Stats()
+	if bs.Examined != ss.Examined || bs.Hits != ss.Hits || bs.Misses != ss.Misses {
+		t.Fatalf("aggregate divergence: %+v vs %+v", bs, ss)
+	}
+}
+
+// TestMTFHashH1EquivalentToMTF: the same identity for the move-to-front
+// pair — a one-chain MTF hash is exactly Crowcroft's list.
+func TestMTFHashH1EquivalentToMTF(t *testing.T) {
+	mtf := NewMTFList()
+	hashed := NewMTFHash(1, nil)
+	src := rng.New(13)
+	const keys = 48
+	inserted := map[Key]bool{}
+	for step := 0; step < 20000; step++ {
+		k := connKey(src.Intn(keys))
+		switch src.Intn(4) {
+		case 0:
+			if !inserted[k] {
+				if err := mtf.Insert(NewPCB(k)); err != nil {
+					t.Fatal(err)
+				}
+				if err := hashed.Insert(NewPCB(k)); err != nil {
+					t.Fatal(err)
+				}
+				inserted[k] = true
+			}
+		default:
+			mr := mtf.Lookup(k, DirData)
+			hr := hashed.Lookup(k, DirData)
+			if mr.Examined != hr.Examined || (mr.PCB == nil) != (hr.PCB == nil) {
+				t.Fatalf("step %d: divergence: mtf %d vs mtf-hash-1 %d", step, mr.Examined, hr.Examined)
+			}
+		}
+	}
+}
+
+// TestMapAndDirectIndexAgree: both O(1) structures must agree on
+// membership under arbitrary churn (their costs are both 1 by
+// construction).
+func TestMapAndDirectIndexAgree(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewMapDemux()
+		di := NewDirectIndex()
+		for i, op := range ops {
+			k := connKey(int(op % 32))
+			switch i % 3 {
+			case 0:
+				me := m.Insert(NewPCB(k))
+				de := di.Insert(NewPCB(k))
+				if (me == nil) != (de == nil) {
+					return false
+				}
+			case 1:
+				if m.Remove(k) != di.Remove(k) {
+					return false
+				}
+			default:
+				if (m.Lookup(k, DirData).PCB == nil) != (di.Lookup(k, DirData).PCB == nil) {
+					return false
+				}
+			}
+			if m.Len() != di.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllAlgorithmsAgreeOnArbitraryChurn is the full cross-product
+// membership property: whatever one algorithm believes about a key, all
+// must believe.
+func TestAllAlgorithmsAgreeOnArbitraryChurn(t *testing.T) {
+	ds := allDemuxers(t)
+	src := rng.New(17)
+	const keys = 40
+	for step := 0; step < 4000; step++ {
+		k := connKey(src.Intn(keys))
+		op := src.Intn(3)
+		var first *bool
+		for _, d := range ds {
+			var outcome bool
+			switch op {
+			case 0:
+				outcome = d.Insert(NewPCB(k)) == nil
+			case 1:
+				outcome = d.Remove(k)
+			default:
+				outcome = d.Lookup(k, Direction(step%2)).PCB != nil
+			}
+			if first == nil {
+				first = &outcome
+			} else if *first != outcome {
+				t.Fatalf("step %d op %d: %s disagrees", step, op, d.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"tcpdemux/internal/wire"
+)
+
+func addr(a, b, c, d byte) wire.Addr { return wire.MakeAddr(a, b, c, d) }
+
+func connKey(i int) Key {
+	return Key{
+		LocalAddr:  addr(10, 0, 0, 1),
+		LocalPort:  1521,
+		RemoteAddr: addr(10, 1, byte(i>>8), byte(i)),
+		RemotePort: uint16(30000 + i%1000),
+	}
+}
+
+func TestKeyFromTupleRoundTrip(t *testing.T) {
+	tu := wire.Tuple{
+		SrcAddr: addr(192, 168, 0, 5), SrcPort: 40000,
+		DstAddr: addr(10, 0, 0, 1), DstPort: 1521,
+	}
+	k := KeyFromTuple(tu)
+	if k.LocalAddr != tu.DstAddr || k.LocalPort != tu.DstPort ||
+		k.RemoteAddr != tu.SrcAddr || k.RemotePort != tu.SrcPort {
+		t.Fatalf("KeyFromTuple wrong: %v", k)
+	}
+	if k.Tuple() != tu {
+		t.Fatalf("Tuple round trip: %v vs %v", k.Tuple(), tu)
+	}
+}
+
+func TestKeyIsWildcard(t *testing.T) {
+	if connKey(1).IsWildcard() {
+		t.Error("connection key misreported as wildcard")
+	}
+	if !ListenKey(addr(10, 0, 0, 1), 80).IsWildcard() {
+		t.Error("listen key with addr not wildcard")
+	}
+	if !ListenKey(wire.Addr{}, 80).IsWildcard() {
+		t.Error("any-addr listen key not wildcard")
+	}
+}
+
+func TestMatchExact(t *testing.T) {
+	k := connKey(7)
+	if Match(k, k) != exactScore {
+		t.Fatal("identical keys should match exactly")
+	}
+}
+
+func TestMatchRequiresLocalPort(t *testing.T) {
+	k := connKey(7)
+	other := k
+	other.LocalPort++
+	if Match(k, other) != -1 {
+		t.Fatal("local port mismatch must not match")
+	}
+}
+
+func TestMatchWildcardScores(t *testing.T) {
+	packet := connKey(3)
+
+	full := ListenKey(packet.LocalAddr, packet.LocalPort)
+	if got := Match(full, packet); got != 1 {
+		t.Errorf("addr-bound listener score = %d, want 1", got)
+	}
+	anyAddr := ListenKey(wire.Addr{}, packet.LocalPort)
+	if got := Match(anyAddr, packet); got != 0 {
+		t.Errorf("any-addr listener score = %d, want 0", got)
+	}
+	wrongAddr := ListenKey(addr(9, 9, 9, 9), packet.LocalPort)
+	if Match(wrongAddr, packet) != -1 {
+		t.Error("listener on other addr must not match")
+	}
+	// Partially wildcard: remote addr pinned, remote port wild.
+	partial := packet
+	partial.RemotePort = 0
+	if got := Match(partial, packet); got != 2 {
+		t.Errorf("remote-addr-only score = %d, want 2", got)
+	}
+	partialWrong := partial
+	partialWrong.RemoteAddr = addr(1, 1, 1, 1)
+	if Match(partialWrong, packet) != -1 {
+		t.Error("pinned remote addr mismatch must not match")
+	}
+}
+
+func TestMatchSpecificityOrdering(t *testing.T) {
+	// An exact connection outranks every listener shape.
+	packet := connKey(9)
+	shapes := []Key{
+		packet, // 3
+		{LocalAddr: packet.LocalAddr, LocalPort: packet.LocalPort, RemoteAddr: packet.RemoteAddr}, // 2
+		ListenKey(packet.LocalAddr, packet.LocalPort),                                             // 1
+		ListenKey(wire.Addr{}, packet.LocalPort),                                                  // 0
+	}
+	prev := exactScore + 1
+	for i, s := range shapes {
+		got := Match(s, packet)
+		if got >= prev {
+			t.Fatalf("shape %d score %d not decreasing (prev %d)", i, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DirData.String() != "data" || DirAck.String() != "ack" {
+		t.Fatal("direction names wrong")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateEstablished.String() != "ESTABLISHED" || StateListen.String() != "LISTEN" {
+		t.Fatal("state names wrong")
+	}
+	if State(99).String() != "State(99)" {
+		t.Fatal("out-of-range state should format numerically")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	got := connKey(1).String()
+	if got == "" {
+		t.Fatal("empty key string")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+// MapDemux is the modern-stack baseline: a single global hash table (Go's
+// built-in map) over exact connection keys, with a separate listener list —
+// essentially the Sequent design taken to its limit of "enough chains that
+// every chain holds one PCB". Each lookup is accounted as examining one
+// PCB, the asymptote the paper's Eq. 22 approaches as H grows.
+//
+// It exists so the benches can show where thirty years of hashing ended up
+// relative to the paper's 19-chain default.
+type MapDemux struct {
+	byKey  map[Key]*PCB
+	listen list
+	stats  Stats
+}
+
+// NewMapDemux returns an empty global-hash-table demultiplexer.
+func NewMapDemux() *MapDemux {
+	return &MapDemux{byKey: make(map[Key]*PCB)}
+}
+
+// Name implements Demuxer.
+func (d *MapDemux) Name() string { return "map" }
+
+// Insert implements Demuxer.
+func (d *MapDemux) Insert(p *PCB) error {
+	if p.Key.IsWildcard() {
+		if d.listen.containsExact(p.Key) {
+			return ErrDuplicateKey
+		}
+		d.listen.pushFront(p)
+		return nil
+	}
+	if _, dup := d.byKey[p.Key]; dup {
+		return ErrDuplicateKey
+	}
+	d.byKey[p.Key] = p
+	return nil
+}
+
+// Remove implements Demuxer.
+func (d *MapDemux) Remove(k Key) bool {
+	if k.IsWildcard() {
+		return d.listen.remove(k) != nil
+	}
+	if _, ok := d.byKey[k]; !ok {
+		return false
+	}
+	delete(d.byKey, k)
+	return true
+}
+
+// Lookup implements Demuxer.
+func (d *MapDemux) Lookup(k Key, _ Direction) Result {
+	if p, ok := d.byKey[k]; ok {
+		r := Result{PCB: p, Examined: 1}
+		d.stats.record(r)
+		return r
+	}
+	best, examined, _ := d.listen.scan(k)
+	r := Result{PCB: best, Examined: 1 + examined, Wildcard: best != nil}
+	d.stats.record(r)
+	return r
+}
+
+// NotifySend implements Demuxer; the hash table ignores transmissions.
+func (d *MapDemux) NotifySend(*PCB) {}
+
+// Len implements Demuxer.
+func (d *MapDemux) Len() int { return len(d.byKey) + d.listen.n }
+
+// Stats implements Demuxer.
+func (d *MapDemux) Stats() *Stats { return &d.stats }
+
+// Walk implements Demuxer. Map iteration order is randomized by the
+// runtime; callers needing stable output must sort.
+func (d *MapDemux) Walk(fn func(*PCB) bool) {
+	for _, p := range d.byKey {
+		if !fn(p) {
+			return
+		}
+	}
+	d.listen.walk(fn)
+}

@@ -1,0 +1,78 @@
+package core
+
+// MTFList is Jon Crowcroft's proposal from paper §3.2: a linear list with a
+// move-to-front heuristic — each PCB found is pulled to the head, so
+// recently active connections are cheap to find again.
+//
+// Under TPC/A the transaction entry pays slightly more than BSD (the think
+// interval lets most other users overtake) but the response acknowledgement
+// finds its PCB near the front, for an overall cost of 549–904 examinations
+// at 2,000 users versus BSD's 1,001 (Eq. 6). Deterministic think times are
+// the worst case: every entry scans the whole list.
+type MTFList struct {
+	pcbs  list
+	stats Stats
+}
+
+// NewMTFList returns an empty move-to-front demultiplexer.
+func NewMTFList() *MTFList { return &MTFList{} }
+
+// Name implements Demuxer.
+func (d *MTFList) Name() string { return "mtf" }
+
+// Insert implements Demuxer.
+func (d *MTFList) Insert(p *PCB) error {
+	if d.pcbs.containsExact(p.Key) {
+		return ErrDuplicateKey
+	}
+	d.pcbs.pushFront(p)
+	return nil
+}
+
+// Remove implements Demuxer.
+func (d *MTFList) Remove(k Key) bool { return d.pcbs.remove(k) != nil }
+
+// Lookup implements Demuxer: scan, and on an exact match splice the node to
+// the front. The splice is done during the scan so the list is walked once.
+func (d *MTFList) Lookup(k Key, _ Direction) Result {
+	var r Result
+	var best *PCB
+	bestScore := -1
+	for cur, prev := d.pcbs.head, (*node)(nil); cur != nil; prev, cur = cur, cur.next {
+		r.Examined++
+		score := Match(cur.pcb.Key, k)
+		if score == exactScore {
+			// Move to front (no-op when already there).
+			if prev != nil {
+				prev.next = cur.next
+				cur.next = d.pcbs.head
+				d.pcbs.head = cur
+			}
+			r.PCB = cur.pcb
+			d.stats.record(r)
+			return r
+		}
+		if score > bestScore {
+			bestScore = score
+			best = cur.pcb
+		}
+	}
+	r.PCB = best
+	r.Wildcard = best != nil
+	d.stats.record(r)
+	return r
+}
+
+// NotifySend implements Demuxer; move-to-front ignores transmissions.
+func (d *MTFList) NotifySend(*PCB) {}
+
+// Len implements Demuxer.
+func (d *MTFList) Len() int { return d.pcbs.n }
+
+// Stats implements Demuxer.
+func (d *MTFList) Stats() *Stats { return &d.stats }
+
+// Walk implements Demuxer.
+func (d *MTFList) Walk(fn func(*PCB) bool) {
+	d.pcbs.walk(fn)
+}

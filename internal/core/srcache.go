@@ -1,0 +1,95 @@
+package core
+
+// SRCache is Craig Partridge and Stephen Pink's proposal from paper §3.3:
+// the BSD linear list augmented with two one-entry caches, one holding the
+// PCB of the last packet received and one the PCB of the last packet sent.
+// The receive-side cache is examined first for data segments and the
+// send-side cache first for acknowledgements (footnote 5): an ack for a
+// response the host just transmitted is exactly what the send cache holds.
+//
+// A miss probes both caches and then scans the list, so the miss penalty is
+// (N+5)/2 examinations; the TPC/A cost is 667 at 2,000 users with a 1 ms
+// round trip, degrading toward BSD's level as N or D grows (Eq. 17).
+type SRCache struct {
+	pcbs  list
+	recv  *PCB
+	sent  *PCB
+	stats Stats
+}
+
+// NewSRCache returns an empty last-sent/last-received demultiplexer.
+func NewSRCache() *SRCache { return &SRCache{} }
+
+// Name implements Demuxer.
+func (d *SRCache) Name() string { return "sr" }
+
+// Insert implements Demuxer.
+func (d *SRCache) Insert(p *PCB) error {
+	if d.pcbs.containsExact(p.Key) {
+		return ErrDuplicateKey
+	}
+	d.pcbs.pushFront(p)
+	return nil
+}
+
+// Remove implements Demuxer, evicting the PCB from both caches.
+func (d *SRCache) Remove(k Key) bool {
+	p := d.pcbs.remove(k)
+	if p == nil {
+		return false
+	}
+	if d.recv == p {
+		d.recv = nil
+	}
+	if d.sent == p {
+		d.sent = nil
+	}
+	return true
+}
+
+// Lookup implements Demuxer: probe the two caches in direction-dependent
+// order, then scan the list. Every cache probe examines one PCB.
+func (d *SRCache) Lookup(k Key, dir Direction) Result {
+	first, second := d.recv, d.sent
+	if dir == DirAck {
+		first, second = d.sent, d.recv
+	}
+	var r Result
+	for _, c := range [2]*PCB{first, second} {
+		if c == nil {
+			continue
+		}
+		r.Examined++
+		if Match(c.Key, k) == exactScore {
+			r.PCB = c
+			r.CacheHit = true
+			d.recv = c
+			d.stats.record(r)
+			return r
+		}
+	}
+	best, examined, exact := d.pcbs.scan(k)
+	r.Examined += examined
+	r.PCB = best
+	r.Wildcard = best != nil && !exact
+	if exact {
+		d.recv = best
+	}
+	d.stats.record(r)
+	return r
+}
+
+// NotifySend implements Demuxer: the transmit path refreshes the send-side
+// cache at no lookup cost (the sender already holds the PCB).
+func (d *SRCache) NotifySend(p *PCB) { d.sent = p }
+
+// Len implements Demuxer.
+func (d *SRCache) Len() int { return d.pcbs.n }
+
+// Stats implements Demuxer.
+func (d *SRCache) Stats() *Stats { return &d.stats }
+
+// Walk implements Demuxer.
+func (d *SRCache) Walk(fn func(*PCB) bool) {
+	d.pcbs.walk(fn)
+}

@@ -1,0 +1,6 @@
+package core
+
+import "tcpdemux/internal/rng"
+
+// newTestRNG keeps the test files decoupled from the rng package's name.
+func newTestRNG(seed uint64) *rng.Source { return rng.New(seed) }

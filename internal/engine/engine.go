@@ -1,0 +1,698 @@
+// Package engine glues the substrates into a runnable endpoint: raw
+// IPv4/TCP frames go in, PCB demultiplexing locates the connection, a
+// minimal TCP state machine advances it, and reply frames come out. The
+// examples use two linked Stacks to run realistic client/server traffic
+// through whichever demultiplexer is under study.
+//
+// The TCP machinery is deliberately small — enough for passive/active
+// open, in-order data exchange with acknowledgements, reset generation,
+// and close — because the paper's subject is the lookup step, not
+// congestion control or retransmission.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/frag"
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/wire"
+)
+
+// Errors reported by the engine.
+var (
+	ErrPortInUse = errors.New("engine: port already has a listener")
+	ErrClosed    = errors.New("engine: connection is closed")
+	ErrNoRoute   = errors.New("engine: frame is not addressed to this stack")
+)
+
+// Handler consumes application data arriving on an accepted connection and
+// optionally returns a response payload to transmit on the same
+// connection.
+type Handler func(c *Conn, payload []byte) (response []byte)
+
+// DefaultBacklog bounds half-open (SYN_RCVD) connections per listener.
+// Without it a SYN flood manufactures PCBs without limit, bloating exactly
+// the lookup structures this repo measures.
+const DefaultBacklog = 128
+
+// Conn is the application's view of one connection.
+type Conn struct {
+	stack *Stack
+	pcb   *core.PCB
+}
+
+// Key returns the connection's demultiplexing key.
+func (c *Conn) Key() core.Key { return c.pcb.Key }
+
+// State returns the connection's TCP state.
+func (c *Conn) State() core.State { return c.pcb.State }
+
+// Send transmits payload on the connection.
+func (c *Conn) Send(payload []byte) error {
+	c.stack.mu.Lock()
+	defer c.stack.mu.Unlock()
+	return c.stack.send(c.pcb, payload, wire.FlagACK|wire.FlagPSH)
+}
+
+// Close starts the active close: FIN is sent and the connection walks
+// FIN_WAIT_1 → FIN_WAIT_2 → TIME_WAIT as the peer responds. The PCB stays
+// in the demultiplexer through TIME_WAIT (lengthening lookup chains, as on
+// a real server) until Stack.ReapTimeWait collects it.
+func (c *Conn) Close() error {
+	c.stack.mu.Lock()
+	defer c.stack.mu.Unlock()
+	switch c.pcb.State {
+	case core.StateClosed, core.StateTimeWait, core.StateFinWait1,
+		core.StateFinWait2, core.StateClosing, core.StateLastAck:
+		return ErrClosed
+	}
+	if err := c.stack.send(c.pcb, nil, wire.FlagFIN|wire.FlagACK); err != nil {
+		return err
+	}
+	c.pcb.State = core.StateFinWait1
+	return nil
+}
+
+// connData is the engine's per-PCB state hung off PCB.UserData.
+type connData struct {
+	conn    *Conn
+	handler Handler
+	// lastRx holds the most recent data payload for polling clients.
+	lastRx []byte
+	// rxQueue holds received payloads not yet taken with Receive. It is
+	// bounded to rxQueueMax; beyond that the oldest payloads are dropped
+	// (the engine has no flow control, so an unread queue means the
+	// application abandoned the data).
+	rxQueue [][]byte
+	// unacked retains the frame of the most recent sequence-consuming
+	// segment until the peer acknowledges it, for Stack.Retransmit. The
+	// engine is stop-and-wait per connection: a second send before the
+	// first is acknowledged replaces the retransmission buffer.
+	unacked    []byte
+	unackedEnd uint32
+}
+
+// rxQueueMax bounds the per-connection receive queue.
+const rxQueueMax = 1024
+
+// Stack is one host endpoint. Its methods are safe for concurrent use.
+type Stack struct {
+	mu       sync.Mutex
+	addr     wire.Addr
+	demux    core.Demuxer
+	src      *rng.Source
+	outbox   [][]byte
+	handlers map[uint16]Handler
+	timeWait []*core.PCB
+	// halfOpen counts SYN_RCVD PCBs per listening port, against Backlog.
+	halfOpen map[uint16]int
+	// Backlog overrides DefaultBacklog when positive.
+	Backlog int
+	// SynDrops counts SYNs refused because the backlog was full.
+	SynDrops uint64
+	reasm    *frag.Reassembler
+	frames   uint64 // delivered-frame counter, the reassembly clock
+	// usedPorts tracks ephemeral allocations (see ports.go).
+	usedPorts map[uint16]bool
+	// OnAccept, if set, is invoked (with the lock held) when a passive
+	// open completes.
+	OnAccept func(*Conn)
+}
+
+// NewStack builds a host endpoint at addr that demultiplexes with d.
+func NewStack(addr wire.Addr, d core.Demuxer, seed uint64) *Stack {
+	return &Stack{
+		addr:     addr,
+		demux:    d,
+		src:      rng.New(seed),
+		handlers: make(map[uint16]Handler),
+		halfOpen: make(map[uint16]int),
+		reasm:    frag.New(64),
+	}
+}
+
+// Addr returns the stack's address.
+func (s *Stack) Addr() wire.Addr { return s.addr }
+
+// Demuxer exposes the underlying demultiplexer (for stats inspection).
+func (s *Stack) Demuxer() core.Demuxer { return s.demux }
+
+// Listen registers a handler for a local port and inserts the listening
+// PCB.
+func (s *Stack) Listen(port uint16, h Handler) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[port]; dup {
+		return ErrPortInUse
+	}
+	pcb := core.NewListenPCB(core.ListenKey(s.addr, port))
+	if err := s.demux.Insert(pcb); err != nil {
+		return err
+	}
+	s.handlers[port] = h
+	return nil
+}
+
+// Connect begins an active open to remote:port from the given local port,
+// queueing the SYN. The returned Conn becomes Established once the peer's
+// SYN|ACK is delivered.
+func (s *Stack) Connect(remote wire.Addr, remotePort, localPort uint16, h Handler) (*Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := core.Key{
+		LocalAddr: s.addr, LocalPort: localPort,
+		RemoteAddr: remote, RemotePort: remotePort,
+	}
+	pcb := core.NewPCB(k)
+	pcb.State = core.StateSynSent
+	pcb.SndNxt = uint32(s.src.Uint64()) // ISS
+	conn := &Conn{stack: s, pcb: pcb}
+	pcb.UserData = &connData{conn: conn, handler: h}
+	if err := s.demux.Insert(pcb); err != nil {
+		return nil, err
+	}
+	if err := s.send(pcb, nil, wire.FlagSYN); err != nil {
+		s.demux.Remove(k)
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Drain returns the queued outbound frames and clears the outbox.
+func (s *Stack) Drain() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.outbox
+	s.outbox = nil
+	return out
+}
+
+// send builds and queues one segment on pcb. SYN and FIN consume one
+// sequence number; data consumes its length. The caller holds s.mu.
+func (s *Stack) send(pcb *core.PCB, payload []byte, flags uint8) error {
+	if pcb.State == core.StateClosed {
+		return ErrClosed
+	}
+	ip := wire.IPv4Header{
+		TTL: 64,
+		Src: pcb.Key.LocalAddr, Dst: pcb.Key.RemoteAddr,
+	}
+	tcp := wire.TCPHeader{
+		SrcPort: pcb.Key.LocalPort, DstPort: pcb.Key.RemotePort,
+		Seq: pcb.SndNxt, Ack: pcb.RcvNxt,
+		Flags: flags, Window: 65535,
+	}
+	if flags&wire.FlagACK == 0 && flags&wire.FlagSYN == 0 && flags&wire.FlagRST == 0 {
+		tcp.Flags |= wire.FlagACK
+	}
+	frame, err := wire.BuildSegment(ip, tcp, payload)
+	if err != nil {
+		return err
+	}
+	pcb.SndNxt += uint32(len(payload))
+	if flags&(wire.FlagSYN|wire.FlagFIN) != 0 {
+		pcb.SndNxt++
+	}
+	pcb.TxSegments++
+	pcb.TxBytes += uint64(len(payload))
+	if len(payload) > 0 || flags&(wire.FlagSYN|wire.FlagFIN) != 0 {
+		if cd, ok := pcb.UserData.(*connData); ok {
+			cd.unacked = frame
+			cd.unackedEnd = pcb.SndNxt
+		}
+	}
+	s.demux.NotifySend(pcb)
+	s.outbox = append(s.outbox, frame)
+	return nil
+}
+
+// sendRST queues a reset for an unmatched segment.
+func (s *Stack) sendRST(seg *wire.Segment) {
+	ip := wire.IPv4Header{TTL: 64, Src: seg.IP.Dst, Dst: seg.IP.Src}
+	tcp := wire.TCPHeader{
+		SrcPort: seg.TCP.DstPort, DstPort: seg.TCP.SrcPort,
+		Seq: seg.TCP.Ack, Ack: seg.TCP.Seq + uint32(len(seg.Payload)) + 1,
+		Flags: wire.FlagRST | wire.FlagACK, Window: 0,
+	}
+	if frame, err := wire.BuildSegment(ip, tcp, nil); err == nil {
+		s.outbox = append(s.outbox, frame)
+	}
+}
+
+// teardown removes the PCB from the demultiplexer and marks it closed,
+// releasing its ephemeral port if it had one. The caller holds s.mu.
+func (s *Stack) teardown(pcb *core.PCB) {
+	s.demux.Remove(pcb.Key)
+	pcb.State = core.StateClosed
+	s.releasePort(pcb.Key.LocalPort)
+}
+
+// classify picks the lookup direction for an inbound segment: pure
+// acknowledgements probe send-side caches first (paper footnote 5).
+func classify(seg *wire.Segment) core.Direction {
+	if len(seg.Payload) == 0 && seg.TCP.Flags&(wire.FlagSYN|wire.FlagFIN|wire.FlagRST) == 0 {
+		return core.DirAck
+	}
+	return core.DirData
+}
+
+// Deliver processes one inbound frame: parse, demultiplex, advance the
+// state machine, queue any replies. It returns the lookup result so
+// callers can account examination costs.
+func (s *Stack) Deliver(frame []byte) (core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.frames++
+	// Stale partial datagrams expire on a frame-count clock: any datagram
+	// still incomplete ~4096 delivered frames after its first fragment is
+	// abandoned (the RFC 791 reassembly timer, with frames for seconds).
+	if s.frames%512 == 0 {
+		s.reasm.Reap(float64(s.frames), 4096)
+	}
+	seg, err := wire.ParseSegment(frame)
+	if errors.Is(err, wire.ErrFragmented) {
+		// Absorb the fragment; if it completes a datagram, process the
+		// rebuilt frame, otherwise we are done for now.
+		whole, ferr := s.reasm.Add(frame, float64(s.frames))
+		if ferr != nil {
+			return core.Result{}, ferr
+		}
+		if whole == nil {
+			return core.Result{}, nil
+		}
+		seg, err = wire.ParseSegment(whole)
+	}
+	if err != nil {
+		return core.Result{}, err
+	}
+	if seg.IP.Dst != s.addr {
+		return core.Result{}, ErrNoRoute
+	}
+	key := core.KeyFromTuple(seg.Tuple())
+	res := s.demux.Lookup(key, classify(seg))
+	pcb := res.PCB
+	if pcb == nil {
+		if seg.TCP.Flags&wire.FlagRST == 0 {
+			s.sendRST(seg)
+		}
+		return res, nil
+	}
+	pcb.RxSegments++
+	pcb.RxBytes += uint64(len(seg.Payload))
+	// Any acknowledgement covering the retransmission buffer releases it.
+	if seg.TCP.Flags&wire.FlagACK != 0 {
+		if cd, ok := pcb.UserData.(*connData); ok && cd.unacked != nil && seg.TCP.Ack == cd.unackedEnd {
+			cd.unacked = nil
+		}
+	}
+
+	switch pcb.State {
+	case core.StateListen:
+		s.handleListen(pcb, seg, key)
+	case core.StateSynSent:
+		s.handleSynSent(pcb, seg)
+	case core.StateSynRcvd:
+		s.handleSynRcvd(pcb, seg)
+	case core.StateEstablished:
+		s.handleEstablished(pcb, seg)
+	case core.StateCloseWait, core.StateLastAck:
+		if seg.TCP.Flags&wire.FlagACK != 0 && seg.TCP.Ack == pcb.SndNxt {
+			s.teardown(pcb)
+		}
+	case core.StateFinWait1, core.StateFinWait2, core.StateClosing, core.StateTimeWait:
+		s.handleClosing(pcb, seg)
+	default:
+		// Closed, or states the engine does not model further.
+	}
+	return res, nil
+}
+
+// handleClosing advances the active-close states.
+func (s *Stack) handleClosing(pcb *core.PCB, seg *wire.Segment) {
+	f := seg.TCP.Flags
+	if f&wire.FlagRST != 0 {
+		if seg.TCP.Seq == pcb.RcvNxt {
+			s.teardown(pcb)
+			if pcb.State == core.StateClosed {
+				s.unTimeWait(pcb)
+			}
+		}
+		return
+	}
+	finAcked := f&wire.FlagACK != 0 && seg.TCP.Ack == pcb.SndNxt
+	finHere := f&wire.FlagFIN != 0 && seg.TCP.Seq+uint32(len(seg.Payload)) == pcb.RcvNxt
+
+	switch pcb.State {
+	case core.StateFinWait1:
+		switch {
+		case finHere && finAcked:
+			pcb.RcvNxt++
+			s.enterTimeWait(pcb)
+			_ = s.send(pcb, nil, wire.FlagACK)
+		case finHere:
+			// Simultaneous close.
+			pcb.RcvNxt++
+			pcb.State = core.StateClosing
+			_ = s.send(pcb, nil, wire.FlagACK)
+		case finAcked:
+			pcb.State = core.StateFinWait2
+		}
+	case core.StateFinWait2:
+		if finHere {
+			pcb.RcvNxt++
+			s.enterTimeWait(pcb)
+			_ = s.send(pcb, nil, wire.FlagACK)
+		}
+	case core.StateClosing:
+		if finAcked {
+			s.enterTimeWait(pcb)
+		}
+	case core.StateTimeWait:
+		// A retransmitted FIN sits one octet below RcvNxt — we already
+		// consumed it once; the peer evidently lost our final ACK.
+		if f&wire.FlagFIN != 0 && seg.TCP.Seq+uint32(len(seg.Payload)) == pcb.RcvNxt-1 {
+			_ = s.send(pcb, nil, wire.FlagACK)
+		}
+	}
+}
+
+// enterTimeWait parks the PCB in TIME_WAIT. It remains in the
+// demultiplexer — and therefore keeps lengthening its chain — until
+// ReapTimeWait runs, modeling the 2MSL linger of a real stack.
+func (s *Stack) enterTimeWait(pcb *core.PCB) {
+	pcb.State = core.StateTimeWait
+	s.timeWait = append(s.timeWait, pcb)
+}
+
+// unTimeWait drops a torn-down PCB from the TIME_WAIT list.
+func (s *Stack) unTimeWait(pcb *core.PCB) {
+	for i, p := range s.timeWait {
+		if p == pcb {
+			s.timeWait = append(s.timeWait[:i], s.timeWait[i+1:]...)
+			return
+		}
+	}
+}
+
+// TimeWaitCount returns the number of PCBs lingering in TIME_WAIT.
+func (s *Stack) TimeWaitCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.timeWait)
+}
+
+// ReapTimeWait removes every TIME_WAIT PCB from the demultiplexer (the
+// 2MSL timer firing) and returns how many were collected.
+func (s *Stack) ReapTimeWait() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.timeWait)
+	for _, pcb := range s.timeWait {
+		s.teardown(pcb)
+	}
+	s.timeWait = nil
+	return n
+}
+
+// handleListen performs the passive open: a SYN to a listener spawns a
+// connection PCB in SYN_RCVD and answers SYN|ACK.
+func (s *Stack) handleListen(listener *core.PCB, seg *wire.Segment, key core.Key) {
+	if seg.TCP.Flags&wire.FlagSYN == 0 || seg.TCP.Flags&wire.FlagACK != 0 {
+		if seg.TCP.Flags&wire.FlagRST == 0 {
+			s.sendRST(seg)
+		}
+		return
+	}
+	backlog := s.Backlog
+	if backlog <= 0 {
+		backlog = DefaultBacklog
+	}
+	if s.halfOpen[key.LocalPort] >= backlog {
+		// Backlog full: drop the SYN silently, as listen(2) queues do —
+		// the client's retransmission will retry after the flood ebbs.
+		s.SynDrops++
+		return
+	}
+	pcb := core.NewPCB(key)
+	pcb.State = core.StateSynRcvd
+	pcb.RcvNxt = seg.TCP.Seq + 1
+	pcb.SndNxt = uint32(s.src.Uint64()) // ISS
+	conn := &Conn{stack: s, pcb: pcb}
+	pcb.UserData = &connData{conn: conn, handler: s.handlers[key.LocalPort]}
+	if err := s.demux.Insert(pcb); err != nil {
+		// Simultaneous duplicate SYN; drop.
+		return
+	}
+	s.halfOpen[key.LocalPort]++
+	if err := s.send(pcb, nil, wire.FlagSYN|wire.FlagACK); err != nil {
+		s.teardown(pcb)
+	}
+}
+
+// releaseHalfOpen decrements the listener's half-open count when a
+// SYN_RCVD PCB either completes or dies. The caller holds s.mu.
+func (s *Stack) releaseHalfOpen(pcb *core.PCB) {
+	if n := s.halfOpen[pcb.Key.LocalPort]; n > 0 {
+		s.halfOpen[pcb.Key.LocalPort] = n - 1
+	}
+}
+
+// handleSynSent completes the active open on SYN|ACK.
+func (s *Stack) handleSynSent(pcb *core.PCB, seg *wire.Segment) {
+	f := seg.TCP.Flags
+	if f&wire.FlagRST != 0 {
+		s.teardown(pcb)
+		return
+	}
+	if f&wire.FlagSYN == 0 || f&wire.FlagACK == 0 || seg.TCP.Ack != pcb.SndNxt {
+		return
+	}
+	pcb.RcvNxt = seg.TCP.Seq + 1
+	pcb.State = core.StateEstablished
+	if err := s.send(pcb, nil, wire.FlagACK); err != nil {
+		s.teardown(pcb)
+	}
+}
+
+// handleSynRcvd completes the passive open on the third-step ACK.
+func (s *Stack) handleSynRcvd(pcb *core.PCB, seg *wire.Segment) {
+	f := seg.TCP.Flags
+	if f&wire.FlagRST != 0 {
+		s.releaseHalfOpen(pcb)
+		s.teardown(pcb)
+		return
+	}
+	if f&wire.FlagACK == 0 || seg.TCP.Ack != pcb.SndNxt {
+		return
+	}
+	s.releaseHalfOpen(pcb)
+	pcb.State = core.StateEstablished
+	if s.OnAccept != nil {
+		if cd, ok := pcb.UserData.(*connData); ok {
+			s.OnAccept(cd.conn)
+		}
+	}
+	// The handshake ACK may already carry data.
+	if len(seg.Payload) > 0 {
+		s.handleEstablished(pcb, seg)
+	}
+}
+
+// handleEstablished consumes data and FIN on an open connection.
+func (s *Stack) handleEstablished(pcb *core.PCB, seg *wire.Segment) {
+	if seg.TCP.Flags&wire.FlagRST != 0 {
+		// RFC 5961-style strictness: a reset is honoured only at exactly
+		// the next expected sequence number, so stale or forged resets
+		// cannot tear the connection down.
+		if seg.TCP.Seq == pcb.RcvNxt {
+			s.teardown(pcb)
+		}
+		return
+	}
+	// A duplicate handshake segment (retransmitted SYN|ACK whose ACK we
+	// lost) or out-of-order data gets a pure ACK so the peer can release
+	// its retransmission buffer — RFC 793's "send an acknowledgment" rule
+	// for unacceptable segments.
+	if seg.TCP.Flags&wire.FlagSYN != 0 ||
+		(len(seg.Payload) > 0 && seg.TCP.Seq != pcb.RcvNxt) {
+		if err := s.send(pcb, nil, wire.FlagACK); err != nil {
+			s.teardown(pcb)
+		}
+		return
+	}
+	cd, _ := pcb.UserData.(*connData)
+	if n := len(seg.Payload); n > 0 && seg.TCP.Seq == pcb.RcvNxt {
+		pcb.RcvNxt += uint32(n)
+		var response []byte
+		if cd != nil {
+			cd.lastRx = append(cd.lastRx[:0], seg.Payload...)
+			cd.rxQueue = append(cd.rxQueue, append([]byte(nil), seg.Payload...))
+			if len(cd.rxQueue) > rxQueueMax {
+				cd.rxQueue = cd.rxQueue[len(cd.rxQueue)-rxQueueMax:]
+			}
+			if cd.handler != nil {
+				response = cd.handler(cd.conn, seg.Payload)
+			}
+		}
+		if response != nil {
+			if err := s.send(pcb, response, wire.FlagACK|wire.FlagPSH); err != nil {
+				s.teardown(pcb)
+				return
+			}
+		} else {
+			// Pure window-update acknowledgement.
+			if err := s.send(pcb, nil, wire.FlagACK); err != nil {
+				s.teardown(pcb)
+				return
+			}
+		}
+	}
+	if seg.TCP.Flags&wire.FlagFIN != 0 {
+		// Honour a FIN only in order: its sequence number (after any
+		// payload in the same segment) must be the next expected octet.
+		if seg.TCP.Seq+uint32(len(seg.Payload)) != pcb.RcvNxt {
+			return
+		}
+		pcb.RcvNxt++
+		pcb.State = core.StateLastAck
+		if err := s.send(pcb, nil, wire.FlagFIN|wire.FlagACK); err == nil {
+			// Peer's final ACK will complete teardown in Deliver.
+			return
+		}
+		s.teardown(pcb)
+	}
+}
+
+// Receive pops the oldest unread data payload from the connection's
+// receive queue, or returns nil when nothing is pending. Every inbound
+// data segment is queued regardless of whether a Handler also saw it.
+func (c *Conn) Receive() []byte {
+	c.stack.mu.Lock()
+	defer c.stack.mu.Unlock()
+	cd, ok := c.pcb.UserData.(*connData)
+	if !ok || len(cd.rxQueue) == 0 {
+		return nil
+	}
+	head := cd.rxQueue[0]
+	cd.rxQueue = cd.rxQueue[1:]
+	return head
+}
+
+// Pending returns the number of received payloads waiting in the queue.
+func (c *Conn) Pending() int {
+	c.stack.mu.Lock()
+	defer c.stack.mu.Unlock()
+	if cd, ok := c.pcb.UserData.(*connData); ok {
+		return len(cd.rxQueue)
+	}
+	return 0
+}
+
+// LastReceived returns the most recent data payload delivered on the
+// connection, for polling clients in tests and examples.
+func (c *Conn) LastReceived() []byte {
+	c.stack.mu.Lock()
+	defer c.stack.mu.Unlock()
+	if cd, ok := c.pcb.UserData.(*connData); ok && cd.lastRx != nil {
+		out := make([]byte, len(cd.lastRx))
+		copy(out, cd.lastRx)
+		return out
+	}
+	return nil
+}
+
+// Pump shuttles frames between two stacks until both outboxes are empty,
+// returning the number of frames delivered. It is the examples' in-memory
+// "wire". Frames that fail to parse or route return an error.
+func Pump(a, b *Stack) (int, error) {
+	delivered := 0
+	for rounds := 0; ; rounds++ {
+		if rounds > 10000 {
+			return delivered, fmt.Errorf("engine: pump did not quiesce after %d frames", delivered)
+		}
+		moved := false
+		for _, frame := range a.Drain() {
+			if _, err := b.Deliver(frame); err != nil {
+				return delivered, err
+			}
+			delivered++
+			moved = true
+		}
+		for _, frame := range b.Drain() {
+			if _, err := a.Deliver(frame); err != nil {
+				return delivered, err
+			}
+			delivered++
+			moved = true
+		}
+		if !moved {
+			return delivered, nil
+		}
+	}
+}
+
+// ConnInfo is one row of the stack's connection table, as a netstat-style
+// tool would print it.
+type ConnInfo struct {
+	Key        core.Key
+	State      core.State
+	RxSegments uint64
+	TxSegments uint64
+}
+
+// String renders the row.
+func (ci ConnInfo) String() string {
+	return fmt.Sprintf("%-42s %-12s rx=%d tx=%d", ci.Key, ci.State, ci.RxSegments, ci.TxSegments)
+}
+
+// Netstat returns a snapshot of every PCB in the stack's demultiplexer,
+// sorted by local port, then remote address and port, so output is stable
+// across demultiplexer implementations.
+func (s *Stack) Netstat() []ConnInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ConnInfo
+	s.demux.Walk(func(p *core.PCB) bool {
+		out = append(out, ConnInfo{
+			Key: p.Key, State: p.State,
+			RxSegments: p.RxSegments, TxSegments: p.TxSegments,
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.LocalPort != b.LocalPort {
+			return a.LocalPort < b.LocalPort
+		}
+		if a.RemoteAddr != b.RemoteAddr {
+			return string(a.RemoteAddr[:]) < string(b.RemoteAddr[:])
+		}
+		return a.RemotePort < b.RemotePort
+	})
+	return out
+}
+
+// Retransmit re-queues every connection's unacknowledged segment and
+// returns how many were queued. Callers drive it when a link may have
+// dropped frames (see examples/netpipe); on a lossless in-memory link it
+// is a no-op by the time Pump quiesces.
+func (s *Stack) Retransmit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	s.demux.Walk(func(p *core.PCB) bool {
+		if cd, ok := p.UserData.(*connData); ok && cd.unacked != nil && p.State != core.StateClosed {
+			s.outbox = append(s.outbox, cd.unacked)
+			p.TxSegments++
+			s.demux.NotifySend(p)
+			n++
+		}
+		return true
+	})
+	return n
+}

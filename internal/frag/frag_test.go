@@ -1,0 +1,266 @@
+package frag
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/wire"
+)
+
+// buildFrame makes a whole TCP/IPv4 frame with a payload of n patterned
+// bytes.
+func buildFrame(t testing.TB, n int, id uint16) []byte {
+	t.Helper()
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	frame, err := wire.BuildSegment(
+		wire.IPv4Header{TTL: 64, ID: id,
+			Src: wire.MakeAddr(10, 1, 0, 5), Dst: wire.MakeAddr(10, 0, 0, 1)},
+		wire.TCPHeader{SrcPort: 31005, DstPort: 1521, Flags: wire.FlagACK | wire.FlagPSH},
+		payload,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestFragmentThenReassemble(t *testing.T) {
+	orig := buildFrame(t, 3000, 7)
+	frags, err := Fragment(orig, 576) // classic minimum-MTU path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 5 {
+		t.Fatalf("3020-byte datagram split into only %d fragments at MTU 576", len(frags))
+	}
+	// Each fragment must itself be a valid IP packet and refuse tuple
+	// extraction.
+	for i, f := range frags {
+		var h wire.IPv4Header
+		if _, err := h.Unmarshal(f); err != nil {
+			t.Fatalf("fragment %d invalid: %v", i, err)
+		}
+		if _, err := wire.ExtractTuple(f); !errors.Is(err, wire.ErrFragmented) {
+			t.Fatalf("fragment %d yielded a tuple: %v", i, err)
+		}
+	}
+	r := New(8)
+	var whole []byte
+	for _, f := range frags {
+		out, err := r.Add(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			whole = out
+		}
+	}
+	if whole == nil {
+		t.Fatal("datagram never completed")
+	}
+	if !bytes.Equal(whole, orig) {
+		t.Fatalf("reassembly mismatch: %d vs %d bytes", len(whole), len(orig))
+	}
+	// And the reassembled frame parses end to end.
+	seg, err := wire.ParseSegment(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg.Payload) != 3000 {
+		t.Fatalf("payload length %d", len(seg.Payload))
+	}
+	if r.Pending() != 0 || r.Completed != 1 {
+		t.Fatalf("reassembler state: pending=%d completed=%d", r.Pending(), r.Completed)
+	}
+}
+
+func TestReassembleOutOfOrderAndDuplicates(t *testing.T) {
+	orig := buildFrame(t, 2000, 9)
+	frags, err := Fragment(orig, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(4)
+	r := New(8)
+	// Shuffle and duplicate every fragment.
+	sequence := append(append([][]byte(nil), frags...), frags...)
+	src.Shuffle(len(sequence), func(i, j int) { sequence[i], sequence[j] = sequence[j], sequence[i] })
+	var whole []byte
+	for _, f := range sequence {
+		out, err := r.Add(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil && whole == nil {
+			whole = out
+		}
+	}
+	if whole == nil || !bytes.Equal(whole, orig) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestPassThroughWholeFrames(t *testing.T) {
+	orig := buildFrame(t, 100, 1)
+	r := New(4)
+	out, err := r.Add(orig, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, orig) {
+		t.Fatal("whole frame modified by pass-through")
+	}
+	if r.Pending() != 0 {
+		t.Fatal("pass-through left state")
+	}
+}
+
+func TestInterleavedDatagrams(t *testing.T) {
+	a := buildFrame(t, 1500, 100)
+	b := buildFrame(t, 1500, 101)
+	fa, _ := Fragment(a, 600)
+	fb, _ := Fragment(b, 600)
+	r := New(4)
+	done := map[uint16][]byte{}
+	for i := 0; i < len(fa) || i < len(fb); i++ {
+		for _, f := range [][]byte{pick(fa, i), pick(fb, i)} {
+			if f == nil {
+				continue
+			}
+			out, err := r.Add(f, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != nil {
+				var h wire.IPv4Header
+				if _, err := h.Unmarshal(out); err != nil {
+					t.Fatal(err)
+				}
+				done[h.ID] = out
+			}
+		}
+	}
+	if !bytes.Equal(done[100], a) || !bytes.Equal(done[101], b) {
+		t.Fatal("interleaved datagrams mixed up")
+	}
+}
+
+func pick(frags [][]byte, i int) []byte {
+	if i < len(frags) {
+		return frags[i]
+	}
+	return nil
+}
+
+func TestReapExpiresStalePartials(t *testing.T) {
+	orig := buildFrame(t, 1500, 5)
+	frags, _ := Fragment(orig, 600)
+	r := New(4)
+	if _, err := r.Add(frags[0], 10.0); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Reap(15.0, 30.0); n != 0 {
+		t.Fatalf("reaped %d too early", n)
+	}
+	if n := r.Reap(50.0, 30.0); n != 1 {
+		t.Fatalf("reaped %d, want 1", n)
+	}
+	if r.Pending() != 0 || r.Expired != 1 {
+		t.Fatal("reap accounting wrong")
+	}
+	// Late fragments after expiry restart reassembly rather than complete.
+	out, err := r.Add(frags[1], 51.0)
+	if err != nil || out != nil {
+		t.Fatalf("late fragment: %v, %v", out, err)
+	}
+}
+
+func TestTableBound(t *testing.T) {
+	r := New(2)
+	for id := uint16(0); id < 2; id++ {
+		frags, _ := Fragment(buildFrame(t, 1500, id), 600)
+		if _, err := r.Add(frags[0], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frags, _ := Fragment(buildFrame(t, 1500, 99), 600)
+	if _, err := r.Add(frags[0], 0); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("third datagram accepted: %v", err)
+	}
+}
+
+func TestFragmentRefusesDF(t *testing.T) {
+	orig := buildFrame(t, 2000, 3)
+	orig[6] |= 0x40 // set DF
+	// Re-fix the header checksum.
+	orig[10], orig[11] = 0, 0
+	cs := wire.Checksum(orig[:20])
+	orig[10], orig[11] = byte(cs>>8), byte(cs)
+	if _, err := Fragment(orig, 600); !errors.Is(err, ErrCannotSplit) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFragmentMTUTooSmall(t *testing.T) {
+	orig := buildFrame(t, 2000, 3)
+	if _, err := Fragment(orig, 24); !errors.Is(err, ErrMTUTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFragmentNoSplitNeeded(t *testing.T) {
+	orig := buildFrame(t, 100, 3)
+	frags, err := Fragment(orig, 1500)
+	if err != nil || len(frags) != 1 || !bytes.Equal(frags[0], orig) {
+		t.Fatalf("small frame was split: %d, %v", len(frags), err)
+	}
+}
+
+func TestAddArbitraryBytesNeverPanics(t *testing.T) {
+	r := New(4)
+	f := func(data []byte) bool {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("panic: %v", rec)
+			}
+		}()
+		_, _ = r.Add(data, 0)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(sizeRaw uint16, mtuRaw uint16, id uint16) bool {
+		size := int(sizeRaw)%8000 + 1
+		mtu := int(mtuRaw)%1400 + 68 // RFC 791 minimum MTU
+		orig := buildFrame(t, size, id)
+		frags, err := Fragment(orig, mtu)
+		if err != nil {
+			return false
+		}
+		r := New(4)
+		var whole []byte
+		for _, fr := range frags {
+			out, err := r.Add(fr, 0)
+			if err != nil {
+				return false
+			}
+			if out != nil {
+				whole = out
+			}
+		}
+		return bytes.Equal(whole, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package hashfn
+
+import (
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/wire"
+)
+
+// Avalanche analysis: a good tuple hash flips each output bit with
+// probability 1/2 when any single input bit flips. OLTP tuple populations
+// differ in exactly one or two low-order input bits between neighbouring
+// connections, so poor avalanche translates directly into correlated chain
+// indices and lumpy chains. This is the structural half of the [Jai89]
+// quality story; ChainCounts measures the consequence, this file measures
+// the cause.
+
+// tupleBits is the number of input bits in the demultiplexing tuple.
+const tupleBits = 96
+
+// flipTupleBit returns t with input bit i (0..95) inverted. Bit layout:
+// srcAddr[0..31], dstAddr[32..63], srcPort[64..79], dstPort[80..95].
+func flipTupleBit(t wire.Tuple, i int) wire.Tuple {
+	switch {
+	case i < 32:
+		t.SrcAddr[i/8] ^= 1 << (7 - i%8)
+	case i < 64:
+		j := i - 32
+		t.DstAddr[j/8] ^= 1 << (7 - j%8)
+	case i < 80:
+		t.SrcPort ^= 1 << (15 - (i - 64))
+	default:
+		t.DstPort ^= 1 << (15 - (i - 80))
+	}
+	return t
+}
+
+// AvalancheReport summarizes how an output reacts to single-bit input
+// flips over a sample of random tuples.
+type AvalancheReport struct {
+	// MeanFlipProb is the average probability, over all input/output bit
+	// pairs, that flipping the input bit flips the output bit. Ideal: 0.5.
+	MeanFlipProb float64
+	// WorstBias is the largest |p - 0.5| over all input/output bit pairs.
+	// Ideal: 0; 0.5 means some output bit ignores (or copies) an input
+	// bit entirely.
+	WorstBias float64
+	// DeadInputBits counts input bits whose flip never changes the output
+	// at all — catastrophic for populations that vary only in those bits.
+	DeadInputBits int
+}
+
+// Avalanche measures f's avalanche behaviour over `samples` random base
+// tuples (seeded deterministically).
+func Avalanche(f Func, samples int, seed uint64) AvalancheReport {
+	src := rng.New(seed)
+	var flipCounts [tupleBits][32]int
+	for s := 0; s < samples; s++ {
+		base := wire.Tuple{
+			SrcAddr: wire.Addr{byte(src.Uint64()), byte(src.Uint64()), byte(src.Uint64()), byte(src.Uint64())},
+			DstAddr: wire.Addr{byte(src.Uint64()), byte(src.Uint64()), byte(src.Uint64()), byte(src.Uint64())},
+			SrcPort: uint16(src.Uint64()),
+			DstPort: uint16(src.Uint64()),
+		}
+		h0 := f.Hash(base)
+		for i := 0; i < tupleBits; i++ {
+			diff := h0 ^ f.Hash(flipTupleBit(base, i))
+			for b := 0; b < 32; b++ {
+				if diff>>b&1 == 1 {
+					flipCounts[i][b]++
+				}
+			}
+		}
+	}
+	var rep AvalancheReport
+	total := 0.0
+	for i := 0; i < tupleBits; i++ {
+		anyFlip := false
+		for b := 0; b < 32; b++ {
+			p := float64(flipCounts[i][b]) / float64(samples)
+			total += p
+			if bias := abs(p - 0.5); bias > rep.WorstBias {
+				rep.WorstBias = bias
+			}
+			if flipCounts[i][b] > 0 {
+				anyFlip = true
+			}
+		}
+		if !anyFlip {
+			rep.DeadInputBits++
+		}
+	}
+	rep.MeanFlipProb = total / float64(tupleBits*32)
+	return rep
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

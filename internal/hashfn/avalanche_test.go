@@ -1,0 +1,91 @@
+package hashfn
+
+import (
+	"testing"
+
+	"tcpdemux/internal/wire"
+)
+
+func TestFlipTupleBitRoundTrip(t *testing.T) {
+	base := sampleTuple()
+	for i := 0; i < tupleBits; i++ {
+		once := flipTupleBit(base, i)
+		if once == base {
+			t.Fatalf("flip %d changed nothing", i)
+		}
+		if twice := flipTupleBit(once, i); twice != base {
+			t.Fatalf("double flip %d is not identity", i)
+		}
+	}
+}
+
+func TestFlipTupleBitTouchesOnlyOneField(t *testing.T) {
+	base := sampleTuple()
+	cases := []struct {
+		bit   int
+		check func(a, b wire.Tuple) bool
+	}{
+		{0, func(a, b wire.Tuple) bool {
+			return a.SrcAddr != b.SrcAddr && a.DstAddr == b.DstAddr && a.SrcPort == b.SrcPort && a.DstPort == b.DstPort
+		}},
+		{40, func(a, b wire.Tuple) bool { return a.DstAddr != b.DstAddr && a.SrcAddr == b.SrcAddr }},
+		{70, func(a, b wire.Tuple) bool { return a.SrcPort != b.SrcPort && a.DstPort == b.DstPort }},
+		{95, func(a, b wire.Tuple) bool { return a.DstPort != b.DstPort && a.SrcPort == b.SrcPort }},
+	}
+	for _, c := range cases {
+		if !c.check(base, flipTupleBit(base, c.bit)) {
+			t.Errorf("bit %d touched the wrong field", c.bit)
+		}
+	}
+}
+
+func TestAvalancheStrongHashes(t *testing.T) {
+	// CRC-32 is linear, so each input flip toggles a *fixed* output
+	// pattern (probability 0 or 1 per bit) — terrible bias but no dead
+	// bits. Multiplicative and Pearson should both approximate 0.5 mean
+	// flip probability; Pearson especially (random substitution).
+	for _, f := range []Func{Multiplicative{}, Pearson{}} {
+		rep := Avalanche(f, 300, 1)
+		if rep.DeadInputBits != 0 {
+			t.Errorf("%s: %d dead input bits", f.Name(), rep.DeadInputBits)
+		}
+		if rep.MeanFlipProb < 0.4 || rep.MeanFlipProb > 0.6 {
+			t.Errorf("%s: mean flip probability %v", f.Name(), rep.MeanFlipProb)
+		}
+	}
+}
+
+func TestAvalancheCRCIsLinear(t *testing.T) {
+	// Every input/output pair flips with probability exactly 0 or 1:
+	// worst bias 0.5, yet no dead input bits (CRC-32 has full period over
+	// 96 input bits).
+	rep := Avalanche(CRC32{}, 200, 2)
+	if rep.WorstBias != 0.5 {
+		t.Fatalf("crc32 worst bias %v, expected exactly 0.5 (linearity)", rep.WorstBias)
+	}
+	if rep.DeadInputBits != 0 {
+		t.Fatalf("crc32 dead bits %d", rep.DeadInputBits)
+	}
+}
+
+func TestAvalancheXorFoldWeak(t *testing.T) {
+	// xor-fold is linear too, and folds aligned bits together; its worst
+	// bias must be 0.5 and its mean flip probability far below 0.5 (each
+	// input bit touches at most 2 output bits).
+	rep := Avalanche(XorFold{}, 200, 3)
+	if rep.WorstBias != 0.5 {
+		t.Fatalf("xor-fold worst bias %v", rep.WorstBias)
+	}
+	if rep.MeanFlipProb > 0.1 {
+		t.Fatalf("xor-fold mean flip probability %v, expected sparse", rep.MeanFlipProb)
+	}
+}
+
+func TestAvalanchePortsOnlyHasDeadBits(t *testing.T) {
+	// ports-only ignores all 64 address bits and the destination port's
+	// contribution to... actually it ignores 80 of 96 input bits.
+	rep := Avalanche(PortsOnly{}, 100, 4)
+	if rep.DeadInputBits != 80 {
+		t.Fatalf("ports-only dead bits = %d, want 80", rep.DeadInputBits)
+	}
+}

@@ -1,0 +1,185 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcpdemux/internal/stats"
+	"tcpdemux/internal/wire"
+)
+
+func sampleTuple() wire.Tuple {
+	return wire.Tuple{
+		SrcAddr: wire.MakeAddr(192, 168, 3, 7),
+		DstAddr: wire.MakeAddr(10, 0, 0, 1),
+		SrcPort: 40000,
+		DstPort: 1521,
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	for _, f := range All() {
+		tu := sampleTuple()
+		if f.Hash(tu) != f.Hash(tu) {
+			t.Errorf("%s: hash not deterministic", f.Name())
+		}
+	}
+}
+
+func TestHashDependsOnEachField(t *testing.T) {
+	// Changing any single tuple field should change the hash for all
+	// functions except the deliberately weak PortsOnly.
+	base := sampleTuple()
+	variants := map[string]wire.Tuple{
+		"srcAddr": {SrcAddr: wire.MakeAddr(192, 168, 3, 8), DstAddr: base.DstAddr, SrcPort: base.SrcPort, DstPort: base.DstPort},
+		"dstAddr": {SrcAddr: base.SrcAddr, DstAddr: wire.MakeAddr(10, 0, 0, 2), SrcPort: base.SrcPort, DstPort: base.DstPort},
+		"srcPort": {SrcAddr: base.SrcAddr, DstAddr: base.DstAddr, SrcPort: base.SrcPort + 1, DstPort: base.DstPort},
+		"dstPort": {SrcAddr: base.SrcAddr, DstAddr: base.DstAddr, SrcPort: base.SrcPort, DstPort: base.DstPort + 1},
+	}
+	for _, f := range All() {
+		if f.Name() == "ports-only" {
+			continue
+		}
+		h0 := f.Hash(base)
+		for field, v := range variants {
+			if f.Hash(v) == h0 {
+				t.Errorf("%s: insensitive to %s", f.Name(), field)
+			}
+		}
+	}
+}
+
+func TestChainIndexInRange(t *testing.T) {
+	f := func(h uint32, chainsRaw uint8) bool {
+		chains := int(chainsRaw)%100 + 1
+		idx := ChainIndex(h, chains)
+		return idx >= 0 && idx < chains
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32KnownValue(t *testing.T) {
+	// Validate the table against the standard CRC-32 of "123456789",
+	// which every conforming implementation yields as 0xCBF43926.
+	crc := ^uint32(0)
+	for _, b := range []byte("123456789") {
+		crc = crcByte(crc, b)
+	}
+	if got := ^crc; got != 0xcbf43926 {
+		t.Fatalf("crc32 check value = %#08x, want 0xcbf43926", got)
+	}
+}
+
+func TestPearsonPermIsPermutation(t *testing.T) {
+	var seen [256]bool
+	for _, v := range pearsonPerm {
+		if seen[v] {
+			t.Fatalf("pearson table repeats %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestChainCountsTotal(t *testing.T) {
+	tuples := SequentialClients(500)
+	for _, f := range All() {
+		counts := ChainCounts(f, tuples, 19)
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		if total != 500 {
+			t.Errorf("%s: counted %d of 500 tuples", f.Name(), total)
+		}
+	}
+}
+
+// TestStrongHashesBalanceStructuredPopulations is the EXP-HASH acceptance
+// check: CRC32, multiplicative, and Pearson must keep chains balanced
+// (CV below 0.5) on every structured OLTP population; the weak PortsOnly
+// hash must fail the worst one badly.
+func TestStrongHashesBalanceStructuredPopulations(t *testing.T) {
+	const n, chains = 2000, 19
+	strong := []Func{CRC32{}, Multiplicative{}, Pearson{}}
+	for _, sc := range Scenarios() {
+		tuples := sc.Gen(n)
+		for _, f := range strong {
+			counts := ChainCounts(f, tuples, chains)
+			if cv := stats.CoefficientOfVariation(counts); cv > 0.5 {
+				t.Errorf("%s on %s: CV = %v, want < 0.5", f.Name(), sc.Name, cv)
+			}
+		}
+	}
+	// PortsOnly sees a single port value under sequential-clients: all
+	// 2000 connections land on one chain.
+	counts := ChainCounts(PortsOnly{}, SequentialClients(n), chains)
+	max := int64(0)
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max != n {
+		t.Errorf("ports-only should collapse sequential clients onto one chain, max=%d", max)
+	}
+}
+
+func TestRandomClientsDistinct(t *testing.T) {
+	tuples := RandomClients(1000, 7)
+	seen := make(map[wire.Tuple]bool)
+	for _, tu := range tuples {
+		if seen[tu] {
+			t.Fatal("duplicate tuple in random population")
+		}
+		seen[tu] = true
+	}
+}
+
+func TestPopulationSizes(t *testing.T) {
+	for _, sc := range Scenarios() {
+		if got := len(sc.Gen(123)); got != 123 {
+			t.Errorf("%s generated %d tuples, want 123", sc.Name, got)
+		}
+	}
+}
+
+func TestXorFoldSymmetryHazard(t *testing.T) {
+	// Documented weakness: xor-fold cannot distinguish a tuple from one
+	// with src/dst addresses swapped when ports match. This test pins the
+	// behaviour so the doc comment stays honest.
+	a := wire.Tuple{SrcAddr: wire.MakeAddr(1, 2, 3, 4), DstAddr: wire.MakeAddr(5, 6, 7, 8), SrcPort: 9, DstPort: 9}
+	b := wire.Tuple{SrcAddr: a.DstAddr, DstAddr: a.SrcAddr, SrcPort: 9, DstPort: 9}
+	if (XorFold{}).Hash(a) != (XorFold{}).Hash(b) {
+		t.Fatal("xor-fold unexpectedly broke its symmetry (update docs)")
+	}
+	if (Multiplicative{}).Hash(a) == (Multiplicative{}).Hash(b) {
+		t.Fatal("multiplicative should not be symmetric")
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	tu := sampleTuple()
+	for _, f := range All() {
+		b.Run(f.Name(), func(b *testing.B) {
+			var sink uint32
+			for i := 0; i < b.N; i++ {
+				sink ^= f.Hash(tu)
+			}
+			_ = sink
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, f := range All() {
+		got, err := ByName(f.Name())
+		if err != nil || got.Name() != f.Name() {
+			t.Errorf("ByName(%s): %v, %v", f.Name(), got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

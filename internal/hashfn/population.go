@@ -1,0 +1,88 @@
+package hashfn
+
+import (
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/wire"
+)
+
+// Population generators for hash evaluation. OLTP address populations are
+// highly structured — one server address/port, client addresses assigned
+// sequentially within a few subnets, ephemeral ports drawn from a counter —
+// and that structure is exactly what breaks weak hashes. Each generator
+// returns n distinct tuples as seen by the server (src = client).
+
+// ServerEndpoint is the fixed local endpoint used by the generators.
+var ServerEndpoint = struct {
+	Addr wire.Addr
+	Port uint16
+}{wire.MakeAddr(10, 0, 0, 1), 1521}
+
+// SequentialClients models terminal concentrators: client addresses count
+// up from 10.1.0.0 one by one, every connection from source port 1023
+// (the classic rlogin-style reserved port). Hash quality must come from
+// the address alone.
+func SequentialClients(n int) []wire.Tuple {
+	out := make([]wire.Tuple, n)
+	for i := range out {
+		out[i] = wire.Tuple{
+			SrcAddr: wire.MakeAddr(10, 1, byte(i>>8), byte(i)),
+			DstAddr: ServerEndpoint.Addr,
+			SrcPort: 1023,
+			DstPort: ServerEndpoint.Port,
+		}
+	}
+	return out
+}
+
+// FewClientsManyPorts models a small bank of front-end machines each
+// multiplexing hundreds of users over ephemeral ports: 8 client addresses,
+// ports counting up from 32768. Hash quality must come from the port.
+func FewClientsManyPorts(n int) []wire.Tuple {
+	out := make([]wire.Tuple, n)
+	for i := range out {
+		out[i] = wire.Tuple{
+			SrcAddr: wire.MakeAddr(10, 2, 0, byte(i%8)),
+			DstAddr: ServerEndpoint.Addr,
+			SrcPort: uint16(32768 + i/8),
+			DstPort: ServerEndpoint.Port,
+		}
+	}
+	return out
+}
+
+// RandomClients draws uniformly random client addresses and ephemeral
+// ports — the friendliest possible population, included as the baseline
+// any hash should handle.
+func RandomClients(n int, seed uint64) []wire.Tuple {
+	src := rng.New(seed)
+	seen := make(map[wire.Tuple]bool, n)
+	out := make([]wire.Tuple, 0, n)
+	for len(out) < n {
+		t := wire.Tuple{
+			SrcAddr: wire.MakeAddr(byte(src.Intn(223)+1), byte(src.Intn(256)), byte(src.Intn(256)), byte(src.Intn(256))),
+			DstAddr: ServerEndpoint.Addr,
+			SrcPort: uint16(src.Intn(64512) + 1024),
+			DstPort: ServerEndpoint.Port,
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Scenario pairs a population generator with a name for reports.
+type Scenario struct {
+	Name string
+	Gen  func(n int) []wire.Tuple
+}
+
+// Scenarios returns the three standard populations.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{"sequential-clients", SequentialClients},
+		{"few-clients-many-ports", FewClientsManyPorts},
+		{"random-clients", func(n int) []wire.Tuple { return RandomClients(n, 1) }},
+	}
+}

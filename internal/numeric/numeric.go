@@ -1,0 +1,228 @@
+// Package numeric supplies the small numerical toolkit the analytic model
+// needs: adaptive Simpson quadrature on finite intervals, semi-infinite
+// integrals of exponentially decaying integrands, and numerically stable
+// binomial terms evaluated in log space.
+//
+// The paper's equations (McKenney & Dove 1992, Eqs. 3, 5, 6, 10, 13) involve
+// integrals of the form ∫ a·e^{-aT}·g(T) dT over [0,R] and [R,∞), and
+// binomial sums with N up to 10,000 whose terms overflow float64 if computed
+// naively. This package keeps that machinery out of the model code.
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// DefaultTol is the default relative tolerance for the quadrature routines.
+const DefaultTol = 1e-10
+
+// ErrMaxDepth is returned when adaptive subdivision exceeds its depth limit
+// without reaching the requested tolerance.
+var ErrMaxDepth = errors.New("numeric: adaptive quadrature exceeded maximum recursion depth")
+
+// simpson returns the Simpson's-rule estimate of ∫f over [a,b] given
+// precomputed endpoint and midpoint values.
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+// integratePanels is the number of equal panels Integrate seeds before
+// adapting. Pure adaptive Simpson converges instantly to zero when its
+// three initial probes all miss a narrow integrand; a fixed composite
+// pre-pass bounds how narrow a feature can hide (width > (b-a)/32 is
+// always sampled).
+const integratePanels = 16
+
+// Integrate computes ∫_a^b f(x) dx by composite adaptive Simpson
+// quadrature with the given relative tolerance (DefaultTol if tol <= 0):
+// the interval is split into integratePanels equal panels, each refined
+// adaptively. It returns ErrMaxDepth if the integrand is too wild to
+// resolve within 60 levels of subdivision.
+func Integrate(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if a == b {
+		return 0, nil
+	}
+	sign := 1.0
+	if b < a {
+		a, b = b, a
+		sign = -1
+	}
+	// Coarse pass to scale the error budget.
+	width := (b - a) / integratePanels
+	type panel struct{ a, m, b, fa, fm, fb, est float64 }
+	panels := make([]panel, integratePanels)
+	coarse := 0.0
+	fPrev := f(a)
+	for i := range panels {
+		pa := a + float64(i)*width
+		pb := pa + width
+		if i == integratePanels-1 {
+			pb = b
+		}
+		pm := (pa + pb) / 2
+		fm, fb := f(pm), f(pb)
+		est := simpson(pa, pb, fPrev, fm, fb)
+		panels[i] = panel{pa, pm, pb, fPrev, fm, fb, est}
+		coarse += est
+		fPrev = fb
+	}
+	eps := tol * math.Max(1, math.Abs(coarse)) / integratePanels
+	total := 0.0
+	var firstErr error
+	for _, p := range panels {
+		v, err := adapt(f, p.a, p.b, p.fa, p.fm, p.fb, p.est, eps, 60)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		total += v
+	}
+	return sign * total, firstErr
+}
+
+// adapt is the recursive worker for Integrate. eps is an absolute error
+// budget for this interval; it is halved on each split (the classic
+// Richardson-style budget division).
+func adapt(f func(float64) float64, a, b, fa, fm, fb, whole, eps float64, depth int) (float64, error) {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if diff := left + right - whole; math.Abs(diff) <= 15*eps {
+		// Richardson extrapolation: Simpson error shrinks 16x per halving.
+		return left + right + diff/15, nil
+	}
+	if depth <= 0 {
+		return left + right, ErrMaxDepth
+	}
+	lv, lerr := adapt(f, a, m, fa, flm, fm, left, eps/2, depth-1)
+	rv, rerr := adapt(f, m, b, fm, frm, fb, right, eps/2, depth-1)
+	if lerr != nil {
+		return lv + rv, lerr
+	}
+	return lv + rv, rerr
+}
+
+// IntegrateToInf computes ∫_a^∞ f(x) dx for integrands that decay at least
+// exponentially with rate at least `rate` (that is, |f(x)| ≲ C·e^{-rate·x}).
+// It substitutes x = a - ln(u)/s with s = rate/2, mapping (0,1] onto [a,∞):
+//
+//	∫_a^∞ f(x) dx = (1/s) ∫_0^1 f(a - ln u / s) / u du
+//
+// Using half the stated decay rate makes the transformed integrand vanish
+// continuously at u = 0 (f/u ≲ C·e^{-rate(x-a)/2} → 0), so the adaptive
+// quadrature sees a smooth function even when f decays exactly at `rate`.
+// rate must be positive.
+func IntegrateToInf(f func(float64) float64, a, rate, tol float64) (float64, error) {
+	if rate <= 0 {
+		return 0, errors.New("numeric: IntegrateToInf needs a positive decay rate")
+	}
+	s := rate / 2
+	g := func(u float64) float64 {
+		if u <= 0 {
+			return 0 // limit: f decays strictly faster than 1/u grows
+		}
+		x := a - math.Log(u)/s
+		return f(x) / u
+	}
+	v, err := Integrate(g, 0, 1, tol)
+	return v / s, err
+}
+
+// LogChoose returns ln C(n, k) using log-gamma, valid for n up to the
+// float64 range. It returns -Inf for k < 0 or k > n.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n)+1) - lg(float64(k)+1) - lg(float64(n-k)+1)
+}
+
+// BinomialTerm returns C(n,k) p^k (1-p)^{n-k} computed in log space so that
+// n in the thousands does not overflow. p must be in [0,1].
+func BinomialTerm(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	switch p {
+	case 0:
+		if k == 0 {
+			return 1
+		}
+		return 0
+	case 1:
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logTerm := LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(logTerm)
+}
+
+// BinomialMean returns Σ_{k=0}^{n} k·C(n,k)p^k(1-p)^{n-k} by direct
+// summation. Analytically this is n·p; the explicit sum exists so the model
+// code can property-test its closed forms against the paper's literal
+// formulas (Eq. 3 is written as this sum).
+func BinomialMean(n int, p float64) float64 {
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += float64(k) * BinomialTerm(n, k, p)
+	}
+	return sum
+}
+
+// Linspace returns n evenly spaced points from lo to hi inclusive.
+// n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("numeric: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulated rounding at the endpoint
+	return out
+}
+
+// Bisect finds a root of f in [a,b] to within xtol, assuming f(a) and f(b)
+// bracket a sign change. It is used by calibration helpers (e.g. solving
+// for the H that achieves a target search cost).
+func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, errors.New("numeric: Bisect endpoints do not bracket a root")
+	}
+	for i := 0; i < 200 && b-a > xtol; i++ {
+		m := (a + b) / 2
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if (fm > 0) == (fa > 0) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return (a + b) / 2, nil
+}

@@ -1,0 +1,255 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+func TestIntegratePolynomial(t *testing.T) {
+	// ∫_0^1 x^2 dx = 1/3 — Simpson is exact for cubics, so this must be
+	// correct to machine precision.
+	v, err := Integrate(func(x float64) float64 { return x * x }, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, 1.0/3, 1e-14, "∫x²")
+}
+
+func TestIntegrateSin(t *testing.T) {
+	v, err := Integrate(math.Sin, 0, math.Pi, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, 2, 1e-10, "∫sin over [0,π]")
+}
+
+func TestIntegrateReversedLimits(t *testing.T) {
+	fwd, _ := Integrate(math.Exp, 0, 1, 0)
+	rev, _ := Integrate(math.Exp, 1, 0, 0)
+	approx(t, rev, -fwd, 1e-12, "reversed limits")
+}
+
+func TestIntegrateEmptyInterval(t *testing.T) {
+	v, err := Integrate(math.Exp, 2, 2, 0)
+	if err != nil || v != 0 {
+		t.Fatalf("empty interval: %v, %v", v, err)
+	}
+}
+
+func TestIntegrateSharpPeak(t *testing.T) {
+	// Narrow Gaussian centered mid-interval: adaptive subdivision must find
+	// it. ∫ e^{-(x-0.5)²/2σ²} dx ≈ σ√(2π) for σ << interval.
+	const sigma = 1e-3
+	f := func(x float64) float64 {
+		d := (x - 0.5) / sigma
+		return math.Exp(-d * d / 2)
+	}
+	v, err := Integrate(f, 0, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, sigma*math.Sqrt(2*math.Pi), 1e-9, "sharp peak")
+}
+
+func TestIntegrateToInfExponential(t *testing.T) {
+	// ∫_0^∞ a e^{-a x} dx = 1 for any a > 0.
+	for _, a := range []float64{0.01, 0.1, 1, 10} {
+		f := func(x float64) float64 { return a * math.Exp(-a*x) }
+		v, err := IntegrateToInf(f, 0, a, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, v, 1, 1e-9, "∫ae^{-ax}")
+	}
+}
+
+func TestIntegrateToInfMean(t *testing.T) {
+	// ∫_0^∞ x·a·e^{-ax} dx = 1/a.
+	const a = 0.1
+	f := func(x float64) float64 { return x * a * math.Exp(-a*x) }
+	v, err := IntegrateToInf(f, 0, a/2, 1e-12) // decay slower than a because of the x factor
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, 1/a, 1e-7, "exponential mean")
+}
+
+func TestIntegrateToInfShiftedLower(t *testing.T) {
+	// ∫_R^∞ a e^{-a x} dx = e^{-aR}.
+	const a, R = 0.1, 2.0
+	f := func(x float64) float64 { return a * math.Exp(-a*x) }
+	v, err := IntegrateToInf(f, R, a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, math.Exp(-a*R), 1e-9, "shifted tail")
+}
+
+func TestIntegrateToInfBadRate(t *testing.T) {
+	if _, err := IntegrateToInf(math.Exp, 0, 0, 0); err == nil {
+		t.Fatal("expected error for zero rate")
+	}
+}
+
+func TestLogChooseSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {52, 5, 2598960},
+	}
+	for _, c := range cases {
+		got := math.Exp(LogChoose(c.n, c.k))
+		if math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("C(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestLogChooseOutOfRange(t *testing.T) {
+	if !math.IsInf(LogChoose(5, -1), -1) || !math.IsInf(LogChoose(5, 6), -1) {
+		t.Fatal("out-of-range LogChoose should be -Inf")
+	}
+}
+
+func TestLogChoosePascal(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) for moderate n.
+	for n := 2; n <= 60; n++ {
+		for k := 1; k < n; k++ {
+			lhs := math.Exp(LogChoose(n, k))
+			rhs := math.Exp(LogChoose(n-1, k-1)) + math.Exp(LogChoose(n-1, k))
+			if math.Abs(lhs-rhs)/rhs > 1e-9 {
+				t.Fatalf("Pascal fails at C(%d,%d): %v vs %v", n, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBinomialTermSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 5, 50, 500, 2000} {
+		for _, p := range []float64{0, 0.01, 0.3, 0.5, 0.99, 1} {
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				sum += BinomialTerm(n, k, p)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("n=%d p=%v: Σ terms = %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialMeanClosedForm(t *testing.T) {
+	// The paper writes Eq. 3 as a weighted sum; its value is n·p. Verify the
+	// explicit sum equals the closed form up to N=2000, the paper's scale.
+	for _, n := range []int{1, 10, 100, 1999} {
+		for _, p := range []float64{0, 0.001, 0.1, 0.5, 0.9, 1} {
+			got := BinomialMean(n, p)
+			want := float64(n) * p
+			if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+				t.Errorf("BinomialMean(%d,%v) = %v, want %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestBinomialMeanQuick(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw)%200 + 1
+		p := float64(pRaw) / 65536.0
+		got := BinomialMean(n, p)
+		want := float64(n) * p
+		return math.Abs(got-want) <= 1e-8*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	v := Linspace(0, 10, 11)
+	if len(v) != 11 || v[0] != 0 || v[10] != 10 || v[5] != 5 {
+		t.Fatalf("Linspace wrong: %v", v)
+	}
+}
+
+func TestLinspacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Linspace(0,1,1) should panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, root, math.Sqrt2, 1e-10, "bisect √2")
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9); err == nil {
+		t.Fatal("expected bracket error")
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-9)
+	if err != nil || root != 0 {
+		t.Fatalf("endpoint root: %v, %v", root, err)
+	}
+}
+
+func BenchmarkIntegrateToInf(b *testing.B) {
+	const a = 0.1
+	f := func(x float64) float64 { return x * a * math.Exp(-a*x) }
+	for i := 0; i < b.N; i++ {
+		if _, err := IntegrateToInf(f, 0, a/2, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestIntegrateOffCenterNeedle is the regression for the failure mode the
+// renewal-model work exposed: a narrow compact-support integrand far from
+// the interval midpoint. Pure adaptive Simpson's initial probes miss it
+// and converge instantly to zero; the composite pre-pass must not.
+func TestIntegrateOffCenterNeedle(t *testing.T) {
+	// Unit-area box on [9.5, 10.5] inside [0, 40].
+	f := func(x float64) float64 {
+		if x < 9.5 || x > 10.5 {
+			return 0
+		}
+		return 1
+	}
+	v, err := Integrate(f, 0, 40, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, 1, 1e-6, "off-center box")
+}
+
+func TestIntegrateToInfOffCenterNeedle(t *testing.T) {
+	f := func(x float64) float64 {
+		if x < 9.5 || x > 10.5 {
+			return 0
+		}
+		return 1
+	}
+	v, err := IntegrateToInf(f, 0, 0.5, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, 1, 1e-5, "semi-infinite off-center box")
+}

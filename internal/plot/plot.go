@@ -1,0 +1,162 @@
+// Package plot renders simple ASCII line charts for the figure-regeneration
+// tools. It is deliberately small: fixed-size character grid, one rune per
+// series, linear axes with rounded tick labels — enough to eyeball the
+// curve shapes of Figures 4, 13 and 14 in a terminal and compare them with
+// the paper.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	Marker rune
+}
+
+// defaultMarkers cycles when a series has no explicit marker.
+var defaultMarkers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Chart is an ASCII chart under construction.
+type Chart struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int
+	series        []Series
+}
+
+// New returns a chart with the given dimensions (interior plot area).
+// Sensible minimums are enforced.
+func New(title string, width, height int) *Chart {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Chart{Title: title, Width: width, Height: height}
+}
+
+// Add appends a series. X and Y must have equal length.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d xs but %d ys", s.Label, len(s.X), len(s.Y))
+	}
+	if s.Marker == 0 {
+		s.Marker = defaultMarkers[len(c.series)%len(defaultMarkers)]
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+// bounds returns the data extent across all series, padding degenerate
+// ranges so the projection stays finite.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data at all
+		return 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	xmin, xmax, ymin, ymax := c.bounds()
+	grid := make([][]rune, c.Height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", c.Width))
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(c.Width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(c.Height-1)))
+			row = c.Height - 1 - row // origin at bottom-left
+			if col >= 0 && col < c.Width && row >= 0 && row < c.Height {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLo, yHi := fmtTick(ymin), fmtTick(ymax)
+	labelWidth := max(len(yLo), len(yHi))
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = pad(yHi, labelWidth)
+		case c.Height - 1:
+			label = pad(yLo, labelWidth)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", c.Width))
+	xLo, xHi := fmtTick(xmin), fmtTick(xmax)
+	gap := c.Width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), xLo, strings.Repeat(" ", gap), xHi)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelWidth), c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", labelWidth), s.Marker, s.Label)
+	}
+	return b.String()
+}
+
+// fmtTick formats an axis extreme compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 10000 || av < 0.01:
+		return fmt.Sprintf("%.2g", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// pad right-aligns s to width.
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return strings.Repeat(" ", width-len(s)) + s
+}
+
+// max returns the larger int. (kept local; this package targets go1.22
+// toolchains without assuming builtin generics helpers in scope)
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsMarkersAndLabels(t *testing.T) {
+	c := New("test chart", 40, 10)
+	if err := c.Add(Series{Label: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "linear") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("default marker missing")
+	}
+}
+
+func TestRenderCornerPlacement(t *testing.T) {
+	c := New("", 21, 7)
+	if err := c.Add(Series{Label: "d", X: []float64{0, 10}, Y: []float64{0, 10}, Marker: 'Q'}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(c.Render(), "\n")
+	// First grid row holds the max-Y point at the far right; the last grid
+	// row holds the min at the far left.
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 7 {
+		t.Fatalf("grid rows = %d", len(gridLines))
+	}
+	top, bottom := gridLines[0], gridLines[6]
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "Q|") {
+		t.Errorf("top-right corner not marked: %q", top)
+	}
+	if !strings.Contains(bottom, "|Q") {
+		t.Errorf("bottom-left corner not marked: %q", bottom)
+	}
+}
+
+func TestAddLengthMismatch(t *testing.T) {
+	c := New("", 30, 8)
+	if err := c.Add(Series{Label: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRenderEmptyChart(t *testing.T) {
+	c := New("empty", 30, 8)
+	out := c.Render()
+	if out == "" || !strings.Contains(out, "empty") {
+		t.Fatal("empty chart failed to render")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate Y range must not divide by zero.
+	c := New("", 30, 8)
+	if err := c.Add(Series{Label: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if out := c.Render(); !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	c := New("", 30, 8)
+	for i := 0; i < 3; i++ {
+		if err := c.Add(Series{Label: "s", X: []float64{0}, Y: []float64{float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := c.Render()
+	for _, m := range []string{"*", "+", "o"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("marker %s missing", m)
+		}
+	}
+}
+
+func TestMinimumDimensionsEnforced(t *testing.T) {
+	c := New("", 1, 1)
+	if c.Width < 20 || c.Height < 5 {
+		t.Fatal("minimum dimensions not enforced")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5000:    "5000",
+		12345:   "1.2e+04",
+		0.5:     "0.50",
+		0.001:   "0.001",
+		42:      "42",
+		-100000: "-1e+05",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package rng provides a deterministic, seedable pseudo-random number
+// generator and the probability distributions used by the TPC/A workload
+// model: exponential, truncated exponential, uniform, and deterministic
+// (degenerate) think-time laws.
+//
+// The simulator needs bit-for-bit reproducible runs across Go releases, so
+// the generator is implemented here (xoshiro256**) rather than delegated to
+// math/rand, whose default source has changed between releases. The
+// implementation follows Blackman & Vigna's public-domain reference.
+package rng
+
+import "math"
+
+// Source is a xoshiro256** pseudo-random number generator. It has a period
+// of 2^256-1, passes BigCrush, and is cheap enough (4 xor/rotate ops per
+// draw) to disappear inside a discrete-event simulation.
+//
+// The zero value is not a valid generator; use New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from a single 64-bit seed. The four words of
+// internal state are expanded from the seed with splitmix64, as recommended
+// by the xoshiro authors, so that even seeds 0 and 1 produce uncorrelated
+// streams.
+func New(seed uint64) *Source {
+	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (s *Source) Seed(seed uint64) {
+	// splitmix64 expansion; guarantees the all-zero state cannot occur.
+	for i := range s.s {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s.s[i] = z ^ (z >> 31)
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids the modulo bias without
+// a division in the common case.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	v := s.Uint64()
+	// Fast path: for n far below 2^64 the bias of a plain multiply-shift is
+	// at most n/2^64; reject to make it exact.
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	_ = lo
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo). Implemented
+// manually so the package has no dependency beyond math.
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Exp returns an exponentially distributed value with the given mean
+// (i.e. rate 1/mean). It panics if mean <= 0.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp with non-positive mean")
+	}
+	// Inverse-CDF method. 1-U is in (0,1], so Log never sees zero.
+	return -mean * math.Log(1-s.Float64())
+}
+
+// TruncExp returns a value from a truncated negative-exponential
+// distribution: exponential with the given mean, redrawn until the value is
+// at most max. This matches the TPC/A think-time rule, which requires the
+// distribution's maximum to be at least ten times its mean; values above
+// the cap are resampled. With max = 10*mean only ~0.005% of draws repeat,
+// matching the paper's observation that truncation is negligible.
+func (s *Source) TruncExp(mean, max float64) float64 {
+	if max <= 0 || mean <= 0 {
+		panic("rng: TruncExp with non-positive parameter")
+	}
+	for {
+		v := s.Exp(mean)
+		if v <= max {
+			return v
+		}
+	}
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, via the polar Box-Muller transform.
+func (s *Source) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements by repeatedly calling swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Dist is a distribution of non-negative durations (in seconds). The TPC/A
+// driver draws think times from a Dist so that the exponential law of the
+// benchmark and the deterministic law of the point-of-sale polling scenario
+// (paper §3.2) share one code path.
+type Dist interface {
+	// Draw returns the next sample using src for randomness.
+	Draw(src *Source) float64
+	// Mean returns the distribution's theoretical mean.
+	Mean() float64
+}
+
+// ExpDist is an exponential distribution with the given mean.
+type ExpDist struct{ M float64 }
+
+// Draw implements Dist.
+func (d ExpDist) Draw(src *Source) float64 { return src.Exp(d.M) }
+
+// Mean implements Dist.
+func (d ExpDist) Mean() float64 { return d.M }
+
+// TruncExpDist is the TPC/A truncated negative-exponential law: exponential
+// with mean M, resampled above Max.
+type TruncExpDist struct {
+	M   float64
+	Max float64
+}
+
+// Draw implements Dist.
+func (d TruncExpDist) Draw(src *Source) float64 { return src.TruncExp(d.M, d.Max) }
+
+// Mean implements Dist. The mean of the resampled distribution is
+// M - Max*q/(1-q) where q = e^{-Max/M} is the rejected tail mass; for the
+// TPC/A cap of 10 means this differs from M by under 0.05%.
+func (d TruncExpDist) Mean() float64 {
+	q := math.Exp(-d.Max / d.M)
+	return d.M - d.Max*q/(1-q)
+}
+
+// ConstDist always returns V: the deterministic think time of a central
+// server polling its clients (paper §3.2, point-of-sale terminals).
+type ConstDist struct{ V float64 }
+
+// Draw implements Dist.
+func (d ConstDist) Draw(*Source) float64 { return d.V }
+
+// Mean implements Dist.
+func (d ConstDist) Mean() float64 { return d.V }
+
+// UniformDist is uniform on [Lo, Hi).
+type UniformDist struct{ Lo, Hi float64 }
+
+// Draw implements Dist.
+func (d UniformDist) Draw(src *Source) float64 { return d.Lo + (d.Hi-d.Lo)*src.Float64() }
+
+// Mean implements Dist.
+func (d UniformDist) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+
+// MixtureDist draws from one of several component distributions chosen by
+// weight — heterogeneous user populations (e.g. a fast-typist pool mixed
+// with occasional users) that the TPC/A scaling rules permit as long as
+// the aggregate think-time mean stays above ten seconds.
+type MixtureDist struct {
+	Components []Dist
+	Weights    []float64
+}
+
+// NewMixture builds a mixture; weights need not be normalized. It panics
+// if the slices disagree in length, are empty, or the weights are not all
+// positive.
+func NewMixture(components []Dist, weights []float64) MixtureDist {
+	if len(components) == 0 || len(components) != len(weights) {
+		panic("rng: mixture needs matching non-empty components and weights")
+	}
+	for _, w := range weights {
+		if w <= 0 {
+			panic("rng: mixture weights must be positive")
+		}
+	}
+	return MixtureDist{Components: components, Weights: weights}
+}
+
+// Draw implements Dist.
+func (d MixtureDist) Draw(src *Source) float64 {
+	total := 0.0
+	for _, w := range d.Weights {
+		total += w
+	}
+	x := src.Float64() * total
+	for i, w := range d.Weights {
+		if x < w || i == len(d.Weights)-1 {
+			return d.Components[i].Draw(src)
+		}
+		x -= w
+	}
+	return d.Components[len(d.Components)-1].Draw(src)
+}
+
+// Mean implements Dist: the weighted average of component means.
+func (d MixtureDist) Mean() float64 {
+	total, sum := 0.0, 0.0
+	for i, w := range d.Weights {
+		total += w
+		sum += w * d.Components[i].Mean()
+	}
+	return sum / total
+}

@@ -1,0 +1,375 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeedDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	a := New(0)
+	b := New(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 0 and 1 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if v := s.Uint64(); v != first[i] {
+			t.Fatalf("after reseed, draw %d: got %d want %d", i, v, first[i])
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 2000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(9)
+	const n, draws = 10, 1000000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		x, y, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestMul64Quick(t *testing.T) {
+	// Cross-check against 32x32 multiplication identity:
+	// mul64(x, y) low word must equal x*y (wrapping).
+	f := func(x, y uint64) bool {
+		_, lo := mul64(x, y)
+		return lo == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(13)
+	const mean, n = 10.0, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.15 {
+		t.Fatalf("exp mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestExpMemoryless(t *testing.T) {
+	// P(X > s+t | X > s) should equal P(X > t). Estimate both sides.
+	s := New(17)
+	const mean = 1.0
+	var condCount, condTotal, baseCount, baseTotal int
+	for i := 0; i < 400000; i++ {
+		v := s.Exp(mean)
+		baseTotal++
+		if v > 0.5 {
+			baseCount++
+		}
+		if v > 1.0 {
+			condTotal++
+			if v > 1.5 {
+				condCount++
+			}
+		}
+	}
+	base := float64(baseCount) / float64(baseTotal)
+	cond := float64(condCount) / float64(condTotal)
+	if math.Abs(base-cond) > 0.01 {
+		t.Fatalf("memoryless violated: P(X>0.5)=%v, P(X>1.5|X>1)=%v", base, cond)
+	}
+}
+
+func TestTruncExpCap(t *testing.T) {
+	s := New(19)
+	const mean, max = 10.0, 100.0
+	for i := 0; i < 100000; i++ {
+		v := s.TruncExp(mean, max)
+		if v < 0 || v > max {
+			t.Fatalf("TruncExp out of [0,%v]: %v", max, v)
+		}
+	}
+}
+
+func TestTruncExpMeanNearExp(t *testing.T) {
+	// With cap = 10*mean the truncated mean should be within 0.5% of mean,
+	// matching the paper's negligibility argument (§3).
+	d := TruncExpDist{M: 10, Max: 100}
+	if m := d.Mean(); math.Abs(m-10)/10 > 0.005 {
+		t.Fatalf("truncated mean %v too far from 10", m)
+	}
+	s := New(23)
+	const n = 300000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Draw(s)
+	}
+	if got := sum / n; math.Abs(got-d.Mean()) > 0.15 {
+		t.Fatalf("sample mean %v vs theoretical %v", got, d.Mean())
+	}
+}
+
+func TestNorm(t *testing.T) {
+	s := New(29)
+	const mean, sd, n = 5.0, 2.0, 200000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm(mean, sd)
+		sum += v
+		sq += v * v
+	}
+	m := sum / n
+	v := sq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("norm mean %v", m)
+	}
+	if math.Abs(math.Sqrt(v)-sd) > 0.05 {
+		t.Fatalf("norm stddev %v", math.Sqrt(v))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(31)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has len %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(37)
+	const n = 50
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, n)
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("shuffle duplicated %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDistMeans(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		want float64
+	}{
+		{ExpDist{M: 10}, 10},
+		{ConstDist{V: 3}, 3},
+		{UniformDist{Lo: 2, Hi: 4}, 3},
+	}
+	for _, c := range cases {
+		if got := c.d.Mean(); got != c.want {
+			t.Errorf("%T mean = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestConstDistDraw(t *testing.T) {
+	d := ConstDist{V: 1.5}
+	s := New(41)
+	for i := 0; i < 10; i++ {
+		if v := d.Draw(s); v != 1.5 {
+			t.Fatalf("ConstDist drew %v", v)
+		}
+	}
+}
+
+func TestUniformDistRange(t *testing.T) {
+	d := UniformDist{Lo: 2, Hi: 4}
+	s := New(43)
+	for i := 0; i < 10000; i++ {
+		v := d.Draw(s)
+		if v < 2 || v >= 4 {
+			t.Fatalf("uniform draw %v out of [2,4)", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Exp(10)
+	}
+	_ = sink
+}
+
+func TestMixtureDist(t *testing.T) {
+	m := NewMixture(
+		[]Dist{ConstDist{V: 2}, ConstDist{V: 10}},
+		[]float64{1, 3},
+	)
+	if got := m.Mean(); got != 8 {
+		t.Fatalf("mixture mean = %v, want 8", got)
+	}
+	src := New(51)
+	counts := map[float64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[m.Draw(src)]++
+	}
+	// Weight 1:3 split.
+	if frac := float64(counts[2]) / n; math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("component fraction %v, want 0.25", frac)
+	}
+	sampleMean := (2*float64(counts[2]) + 10*float64(counts[10])) / n
+	if math.Abs(sampleMean-8) > 0.1 {
+		t.Fatalf("sample mean %v", sampleMean)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMixture(nil, nil) },
+		func() { NewMixture([]Dist{ConstDist{V: 1}}, []float64{1, 2}) },
+		func() { NewMixture([]Dist{ConstDist{V: 1}}, []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMixtureExponentialComponents(t *testing.T) {
+	// 80% regular users (mean 10 s), 20% heads-down operators (mean 4 s):
+	// aggregate mean 8.8 s.
+	m := NewMixture(
+		[]Dist{ExpDist{M: 10}, ExpDist{M: 4}},
+		[]float64{0.8, 0.2},
+	)
+	if math.Abs(m.Mean()-8.8) > 1e-12 {
+		t.Fatalf("mean = %v", m.Mean())
+	}
+	src := New(53)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += m.Draw(src)
+	}
+	if got := sum / n; math.Abs(got-8.8) > 0.1 {
+		t.Fatalf("sample mean = %v", got)
+	}
+}

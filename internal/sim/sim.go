@@ -1,0 +1,156 @@
+// Package sim is a small discrete-event simulation kernel: a virtual clock
+// and a binary-heap event queue. The TPC/A and packet-train workloads
+// schedule packet arrivals on it and the demultiplexers under test are
+// exercised by the event handlers.
+//
+// Determinism: ties in event time are broken by insertion order, so a run
+// is fully reproducible given the workload's RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func(now float64)
+
+// item is a scheduled event.
+type item struct {
+	at   float64
+	seq  uint64 // insertion order, breaks time ties deterministically
+	run  Event
+	idx  int
+	dead bool
+}
+
+// Handle cancels a scheduled event.
+type Handle struct{ it *item }
+
+// Cancel prevents the event from running. Canceling an already-run or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.it != nil {
+		h.it.dead = true
+	}
+}
+
+// eventHeap orders items by (time, sequence).
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// ErrTimeTravel is returned when an event is scheduled before the current
+// virtual time.
+var ErrTimeTravel = errors.New("sim: cannot schedule event in the past")
+
+// Sim is the simulation kernel. The zero value is ready to use at time 0.
+type Sim struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+	ran    uint64
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Processed returns the number of events that have run.
+func (s *Sim) Processed() uint64 { return s.ran }
+
+// Pending returns the number of events currently scheduled (canceled
+// events may still be counted until they surface).
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules ev to run at absolute virtual time t.
+func (s *Sim) At(t float64, ev Event) (Handle, error) {
+	if t < s.now {
+		return Handle{}, ErrTimeTravel
+	}
+	it := &item{at: t, seq: s.seq, run: ev}
+	s.seq++
+	heap.Push(&s.events, it)
+	return Handle{it}, nil
+}
+
+// After schedules ev to run delay seconds from now.
+func (s *Sim) After(delay float64, ev Event) (Handle, error) {
+	return s.At(s.now+delay, ev)
+}
+
+// step runs the earliest pending event. It reports whether any event ran.
+func (s *Sim) step() bool {
+	for len(s.events) > 0 {
+		it := heap.Pop(&s.events).(*item)
+		if it.dead {
+			continue
+		}
+		s.now = it.at
+		it.run(s.now)
+		s.ran++
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events in time order until the queue empties or the
+// next event would be after deadline. The clock is left at the last event
+// processed (or deadline, if any event remained beyond it).
+func (s *Sim) RunUntil(deadline float64) {
+	for len(s.events) > 0 {
+		// Peek: find the earliest live event.
+		if s.events[0].dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if s.events[0].at > deadline {
+			s.now = deadline
+			return
+		}
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run processes all events until the queue is empty, leaving the clock at
+// the time of the last event run.
+func (s *Sim) Run() {
+	for s.step() {
+	}
+}
+
+// RunCount processes at most n events, returning how many ran. A safety
+// valve for workloads that reschedule themselves forever.
+func (s *Sim) RunCount(n uint64) uint64 {
+	var ran uint64
+	for ran < n && s.step() {
+		ran++
+	}
+	return ran
+}

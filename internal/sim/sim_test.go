@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s Sim
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tt := range times {
+		tt := tt
+		if _, err := s.At(tt, func(now float64) { got = append(got, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 || s.Now() != 5 {
+		t.Fatalf("ran %d events, clock %v", len(got), s.Now())
+	}
+}
+
+func TestTieBreakByInsertionOrder(t *testing.T) {
+	var s Sim
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.At(1.0, func(float64) { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order violated: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var s Sim
+	var secondAt float64
+	if _, err := s.At(2, func(now float64) {
+		if _, err := s.After(3, func(n float64) { secondAt = n }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if secondAt != 5 {
+		t.Fatalf("chained event at %v, want 5", secondAt)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	var s Sim
+	if _, err := s.At(5, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if _, err := s.At(1, func(float64) {}); err != ErrTimeTravel {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Sim
+	ran := false
+	h, err := s.At(1, func(float64) { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Cancel()
+	h.Cancel() // double-cancel is fine
+	s.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if s.Processed() != 0 {
+		t.Fatal("canceled event counted as processed")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	var s Sim
+	var ran []float64
+	for _, tt := range []float64{1, 2, 3, 4, 5} {
+		if _, err := s.At(tt, func(now float64) { ran = append(ran, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(3)
+	if len(ran) != 3 {
+		t.Fatalf("ran %d events by deadline 3", len(ran))
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.RunUntil(10)
+	if len(ran) != 5 || s.Now() != 10 {
+		t.Fatalf("after second run: %d events, clock %v", len(ran), s.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	var s Sim
+	s.RunUntil(7)
+	if s.Now() != 7 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestRunCount(t *testing.T) {
+	var s Sim
+	count := 0
+	// Self-rescheduling event: would run forever under Run().
+	var tick func(float64)
+	tick = func(float64) {
+		count++
+		if _, err := s.After(1, tick); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := s.At(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	if ran := s.RunCount(100); ran != 100 || count != 100 {
+		t.Fatalf("ran=%d count=%d", ran, count)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	var s Sim
+	for i := 0; i < 20; i++ {
+		if _, err := s.At(float64(i), func(float64) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if s.Processed() != 20 {
+		t.Fatalf("processed = %d", s.Processed())
+	}
+}
+
+func TestQuickOrdering(t *testing.T) {
+	// Whatever times are scheduled (made non-negative), execution must be
+	// sorted and complete.
+	f := func(raw []float64) bool {
+		var s Sim
+		want := 0
+		for _, r := range raw {
+			tt := r
+			if tt < 0 {
+				tt = -tt
+			}
+			if tt != tt { // NaN
+				continue
+			}
+			if _, err := s.At(tt, func(float64) {}); err != nil {
+				return false
+			}
+			want++
+		}
+		var last float64 = -1
+		ok := true
+		// Re-schedule checker events interleaved? Simpler: verify count and
+		// monotone clock by stepping manually.
+		for s.step() {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		}
+		return ok && int(s.Processed()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	var s Sim
+	for i := 0; i < b.N; i++ {
+		if _, err := s.After(float64(i%100), func(float64) {}); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

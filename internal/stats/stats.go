@@ -1,0 +1,265 @@
+// Package stats provides the descriptive statistics used across the
+// simulation and hash-evaluation experiments: streaming mean/variance,
+// percentiles, fixed-width histograms, confidence intervals, and a
+// chi-square uniformity test for hash chain balance.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming statistics using Welford's algorithm, which
+// stays numerically stable over the hundreds of millions of samples a long
+// simulation run produces.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddN records an observation that occurred count times.
+func (s *Summary) AddN(x float64, count int64) {
+	for i := int64(0); i < count; i++ {
+		s.Add(x)
+	}
+}
+
+// Merge folds another summary into s (Chan et al. parallel combination),
+// allowing per-goroutine accumulators to be combined after a parallel run.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	d := o.mean - s.mean
+	n := s.n + o.n
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 with no observations).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with no observations).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean. For the sample sizes this repo uses (≥ thousands)
+// the z approximation is indistinguishable from Student's t.
+func (s *Summary) CI95() float64 { return 1.959964 * s.StdErr() }
+
+// String formats the summary for log output.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g (95%% CI) min=%.4g max=%.4g sd=%.4g",
+		s.n, s.Mean(), s.CI95(), s.min, s.max, s.StdDev())
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of data using linear
+// interpolation between closest ranks. data is sorted in place.
+func Percentile(data []float64, p float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of [0,100]")
+	}
+	sort.Float64s(data)
+	if len(data) == 1 {
+		return data[0]
+	}
+	rank := p / 100 * float64(len(data)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return data[lo]
+	}
+	frac := rank - float64(lo)
+	return data[lo]*(1-frac) + data[hi]*frac
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi) with overflow and
+// underflow buckets.
+type Histogram struct {
+	Lo, Hi    float64
+	Buckets   []int64
+	Under     int64
+	Over      int64
+	width     float64
+	totalObs  int64
+	sumValues float64
+}
+
+// NewHistogram creates a histogram with n equal buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, n), width: (hi - lo) / float64(n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.totalObs++
+	h.sumValues += x
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		idx := int((x - h.Lo) / h.width)
+		if idx >= len(h.Buckets) { // guard against floating rounding at Hi
+			idx = len(h.Buckets) - 1
+		}
+		h.Buckets[idx]++
+	}
+}
+
+// Total returns the number of observations, including under/overflow.
+func (h *Histogram) Total() int64 { return h.totalObs }
+
+// Mean returns the mean of all added observations (exact, not bucketed).
+func (h *Histogram) Mean() float64 {
+	if h.totalObs == 0 {
+		return 0
+	}
+	return h.sumValues / float64(h.totalObs)
+}
+
+// BucketMid returns the midpoint value of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.width
+}
+
+// ChiSquareUniform computes the chi-square statistic for the hypothesis
+// that counts are draws from a uniform distribution over the buckets, and
+// returns the statistic together with the degrees of freedom. The caller
+// compares against a critical value (see ChiSquareCritical95).
+func ChiSquareUniform(counts []int64) (stat float64, dof int) {
+	if len(counts) < 2 {
+		return 0, 0
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, len(counts) - 1
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, len(counts) - 1
+}
+
+// ChiSquareCritical95 returns the approximate 95th percentile of the
+// chi-square distribution with k degrees of freedom, using the
+// Wilson-Hilferty cube approximation, which is accurate to a fraction of a
+// percent for k ≥ 3 and adequate for the k ≥ 10 uses in this repo.
+func ChiSquareCritical95(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	const z95 = 1.6448536269514722 // Φ⁻¹(0.95)
+	kf := float64(k)
+	t := 1 - 2/(9*kf) + z95*math.Sqrt(2/(9*kf))
+	return kf * t * t * t
+}
+
+// CoefficientOfVariation returns stddev/mean for a set of counts — the
+// chain-balance metric used by the hash-function comparison (a perfectly
+// balanced hash has CV → 0; heavy skew pushes CV toward √B).
+func CoefficientOfVariation(counts []int64) float64 {
+	var s Summary
+	for _, c := range counts {
+		s.Add(float64(c))
+	}
+	if s.Mean() == 0 {
+		return 0
+	}
+	return s.StdDev() / s.Mean()
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) estimated from the
+// histogram by linear interpolation within the containing bucket.
+// Underflow observations count at Lo, overflow at Hi. It returns 0 for an
+// empty histogram and panics on q outside [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if h.totalObs == 0 {
+		return 0
+	}
+	target := q * float64(h.totalObs)
+	cum := float64(h.Under)
+	if target <= cum {
+		return h.Lo
+	}
+	for i, c := range h.Buckets {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*h.width
+		}
+		cum = next
+	}
+	return h.Hi
+}

@@ -1,0 +1,364 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tcpdemux/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Mean() != 3 || s.Var() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatalf("single-sample summary wrong: %v", s.String())
+	}
+}
+
+func TestSummaryAddN(t *testing.T) {
+	var a, b Summary
+	for i := 0; i < 5; i++ {
+		a.Add(2)
+	}
+	b.AddN(2, 5)
+	if a.Mean() != b.Mean() || a.N() != b.N() || a.Var() != b.Var() {
+		t.Fatal("AddN disagrees with repeated Add")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	src := rng.New(1)
+	var whole, left, right Summary
+	for i := 0; i < 10000; i++ {
+		x := src.Norm(10, 3)
+		whole.Add(x)
+		if i%2 == 0 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged n = %d, want %d", left.N(), whole.N())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v vs %v", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Var()-whole.Var()) > 1e-6 {
+		t.Fatalf("merged var %v vs %v", left.Var(), whole.Var())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	saved := a
+	a.Merge(b) // merging empty changes nothing
+	if a != saved {
+		t.Fatal("merge with empty changed summary")
+	}
+	b.Merge(a) // merging into empty copies
+	if b != saved {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestSummaryMergeQuick(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = float64(i)
+			}
+			// Clamp to a physically plausible range; at 1e308 the merge
+			// identity drowns in float cancellation, which is not the
+			// property under test.
+			xs[i] = math.Mod(x, 1e6)
+		}
+		var whole, a, b Summary
+		cut := 0
+		if len(xs) > 0 {
+			cut = int(split) % (len(xs) + 1)
+		}
+		for i, x := range xs {
+			whole.Add(x)
+			if i < cut {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		return math.Abs(a.Mean()-whole.Mean()) <= 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	src := rng.New(2)
+	var small, large Summary
+	for i := 0; i < 100; i++ {
+		small.Add(src.Norm(0, 1))
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(src.Norm(0, 1))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	data := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(append([]float64(nil), data...), 50); got != 35 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(append([]float64(nil), data...), 0); got != 15 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(append([]float64(nil), data...), 100); got != 50 {
+		t.Fatalf("p100 = %v", got)
+	}
+	// Interpolated value: p25 over 5 points → rank 1.0 exactly → 20.
+	if got := Percentile(append([]float64(nil), data...), 25); got != 20 {
+		t.Fatalf("p25 = %v", got)
+	}
+}
+
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("single percentile = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p>100")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)  // under
+	h.Add(10)  // over (Hi is exclusive)
+	h.Add(100) // over
+	for i, c := range h.Buckets {
+		if c != 1 {
+			t.Fatalf("bucket %d = %d", i, c)
+		}
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 13 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramBucketMid(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if h.BucketMid(0) != 0.5 || h.BucketMid(9) != 9.5 {
+		t.Fatalf("mids: %v %v", h.BucketMid(0), h.BucketMid(9))
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 100, 4)
+	h.Add(10)
+	h.Add(20)
+	h.Add(30)
+	if h.Mean() != 20 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestChiSquareUniformExact(t *testing.T) {
+	stat, dof := ChiSquareUniform([]int64{10, 10, 10, 10})
+	if stat != 0 || dof != 3 {
+		t.Fatalf("uniform counts: stat=%v dof=%d", stat, dof)
+	}
+}
+
+func TestChiSquareSkewDetected(t *testing.T) {
+	// All mass in one bucket of 20: stat should vastly exceed the critical
+	// value for 19 dof.
+	counts := make([]int64, 20)
+	counts[0] = 1000
+	stat, dof := ChiSquareUniform(counts)
+	if stat <= ChiSquareCritical95(dof) {
+		t.Fatalf("skew not detected: stat=%v crit=%v", stat, ChiSquareCritical95(dof))
+	}
+}
+
+func TestChiSquareUniformRandomPasses(t *testing.T) {
+	// Balanced random assignment should usually pass at 95%: run with a
+	// fixed seed known to pass, asserting the machinery, not luck.
+	src := rng.New(6)
+	counts := make([]int64, 20)
+	for i := 0; i < 20000; i++ {
+		counts[src.Intn(20)]++
+	}
+	stat, dof := ChiSquareUniform(counts)
+	if stat > ChiSquareCritical95(dof) {
+		t.Fatalf("uniform sample rejected: stat=%v crit=%v", stat, ChiSquareCritical95(dof))
+	}
+}
+
+func TestChiSquareDegenerate(t *testing.T) {
+	if stat, dof := ChiSquareUniform(nil); stat != 0 || dof != 0 {
+		t.Fatal("nil counts should be (0,0)")
+	}
+	if stat, dof := ChiSquareUniform([]int64{0, 0}); stat != 0 || dof != 1 {
+		t.Fatal("zero counts should be (0, k-1)")
+	}
+}
+
+func TestChiSquareCritical95KnownValues(t *testing.T) {
+	// Reference values from standard tables.
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{10, 18.307}, {19, 30.144}, {50, 67.505}, {100, 124.342},
+	}
+	for _, c := range cases {
+		got := ChiSquareCritical95(c.k)
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("crit95(%d) = %v, want ≈%v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := CoefficientOfVariation([]int64{5, 5, 5, 5}); cv != 0 {
+		t.Fatalf("balanced CV = %v", cv)
+	}
+	if cv := CoefficientOfVariation([]int64{0, 0, 0, 100}); cv < 1 {
+		t.Fatalf("skewed CV = %v, want > 1", cv)
+	}
+	if cv := CoefficientOfVariation([]int64{0, 0}); cv != 0 {
+		t.Fatalf("all-zero CV = %v", cv)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5) // one observation per bucket
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 1.5 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := h.Quantile(0.95); math.Abs(q-95) > 1.5 {
+		t.Fatalf("p95 = %v", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); math.Abs(q-100) > 1.5 {
+		t.Fatalf("q1 = %v", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestHistogramQuantileOverflow(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(100) // all overflow
+	}
+	if q := h.Quantile(0.9); q != 10 {
+		t.Fatalf("overflow quantile = %v, want Hi", q)
+	}
+}
+
+func TestHistogramQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 1, 2).Quantile(1.5)
+}
+
+func TestHistogramQuantileSkewed(t *testing.T) {
+	// 99 cheap lookups, 1 expensive: p50 cheap, p99+ expensive — the
+	// shape of a cache-dominated demuxer under packet trains.
+	h := NewHistogram(0, 1000, 1000)
+	for i := 0; i < 990; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(900)
+	}
+	if q := h.Quantile(0.5); q > 3 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0.995); q < 800 {
+		t.Fatalf("p99.5 = %v", q)
+	}
+}

@@ -1,0 +1,215 @@
+// Package trace records and replays server-side packet event streams in a
+// compact binary format. Recording decouples workload generation from
+// measurement: a TPC/A or packet-train run can be captured once and then
+// replayed deterministically against every demultiplexer, the way the
+// paper's benchmarks replayed identical terminal load against different
+// kernels.
+//
+// Format (little-endian):
+//
+//	header:  magic "TDTR" | u16 version | u16 reserved
+//	event:   f64 time | 4B srcAddr | 4B dstAddr | u16 srcPort | u16 dstPort | u8 flags
+//
+// flags bit 0: outbound transmission (send) rather than inbound arrival;
+// flags bit 1: pure acknowledgement (DirAck) rather than data.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/wire"
+)
+
+// Format constants.
+const (
+	magic   = "TDTR"
+	version = 1
+
+	flagSend = 1 << 0
+	flagAck  = 1 << 1
+)
+
+// Errors reported by the codec.
+var (
+	ErrBadMagic   = errors.New("trace: not a trace file (bad magic)")
+	ErrBadVersion = errors.New("trace: unsupported version")
+)
+
+// Event is one packet event at the server.
+type Event struct {
+	// Time is the virtual timestamp in seconds.
+	Time float64
+	// Tuple identifies the connection as seen on the wire (inbound
+	// orientation: src = remote peer).
+	Tuple wire.Tuple
+	// Send marks an outbound transmission; false is an inbound arrival.
+	Send bool
+	// Ack marks a pure acknowledgement.
+	Ack bool
+}
+
+// Dir returns the demultiplexing direction for an inbound event.
+func (e Event) Dir() core.Direction {
+	if e.Ack {
+		return core.DirAck
+	}
+	return core.DirData
+}
+
+// eventSize is the encoded size of one event.
+const eventSize = 8 + 4 + 4 + 2 + 2 + 1
+
+// Writer streams events to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:], version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one event.
+func (w *Writer) Write(e Event) error {
+	var buf [eventSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(e.Time))
+	copy(buf[8:12], e.Tuple.SrcAddr[:])
+	copy(buf[12:16], e.Tuple.DstAddr[:])
+	binary.LittleEndian.PutUint16(buf[16:], e.Tuple.SrcPort)
+	binary.LittleEndian.PutUint16(buf[18:], e.Tuple.DstPort)
+	var fl byte
+	if e.Send {
+		fl |= flagSend
+	}
+	if e.Ack {
+		fl |= flagAck
+	}
+	buf[20] = fl
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush flushes buffered events to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams events from an io.Reader.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next event, or io.EOF at a clean end of stream. A
+// truncated final event is reported as ErrUnexpectedEOF.
+func (r *Reader) Next() (Event, error) {
+	var buf [eventSize]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) && err != io.ErrUnexpectedEOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, err
+	}
+	var e Event
+	e.Time = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
+	copy(e.Tuple.SrcAddr[:], buf[8:12])
+	copy(e.Tuple.DstAddr[:], buf[12:16])
+	e.Tuple.SrcPort = binary.LittleEndian.Uint16(buf[16:])
+	e.Tuple.DstPort = binary.LittleEndian.Uint16(buf[18:])
+	e.Send = buf[20]&flagSend != 0
+	e.Ack = buf[20]&flagAck != 0
+	r.count++
+	return e, nil
+}
+
+// Count returns the number of events read so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+// ReplayResult summarizes a replay.
+type ReplayResult struct {
+	// Events is the number of events consumed.
+	Events uint64
+	// Arrivals is the number of inbound lookups performed.
+	Arrivals uint64
+	// Connections is the number of distinct tuples seen.
+	Connections int
+	// MeanExamined is the average PCBs examined per inbound packet.
+	MeanExamined float64
+	// Stats is the demuxer's final counter snapshot.
+	Stats core.Stats
+}
+
+// Replay feeds a recorded stream through a demultiplexer: a PCB is
+// inserted the first time a tuple appears (so the population grows exactly
+// as it did during recording), inbound events perform lookups, and send
+// events raise NotifySend. The demuxer should start empty.
+func Replay(d core.Demuxer, r *Reader) (*ReplayResult, error) {
+	pcbs := make(map[wire.Tuple]*core.PCB)
+	res := &ReplayResult{}
+	for {
+		e, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Events++
+		pcb, ok := pcbs[e.Tuple]
+		if !ok {
+			pcb = core.NewPCB(core.KeyFromTuple(e.Tuple))
+			if err := d.Insert(pcb); err != nil {
+				return nil, fmt.Errorf("trace: inserting PCB for %v: %w", e.Tuple, err)
+			}
+			pcbs[e.Tuple] = pcb
+		}
+		if e.Send {
+			d.NotifySend(pcb)
+			continue
+		}
+		res.Arrivals++
+		if lr := d.Lookup(pcb.Key, e.Dir()); lr.PCB != pcb {
+			return nil, fmt.Errorf("trace: replay lookup for %v found wrong PCB", e.Tuple)
+		}
+	}
+	res.Connections = len(pcbs)
+	res.Stats = *d.Stats()
+	res.MeanExamined = res.Stats.MeanExamined()
+	return res, nil
+}

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/tpca"
+	"tcpdemux/internal/wire"
+)
+
+func sampleEvent(i int) Event {
+	return Event{
+		Time:  float64(i) * 0.125,
+		Tuple: tpca.UserKey(i).Tuple(),
+		Send:  i%2 == 0,
+		Ack:   i%3 == 0,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := w.Write(sampleEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != n {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		e, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if e != sampleEvent(i) {
+			t.Fatalf("event %d = %+v, want %+v", i, e, sampleEvent(i))
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if r.Count() != n {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(tsec float64, src, dst [4]byte, sport, dport uint16, send, ack bool) bool {
+		if math.IsNaN(tsec) {
+			tsec = 0
+		}
+		e := Event{
+			Time: tsec,
+			Tuple: wire.Tuple{
+				SrcAddr: src, DstAddr: dst, SrcPort: sport, DstPort: dport,
+			},
+			Send: send, Ack: ack,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if err := w.Write(e); err != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Next()
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE0000"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReaderRejectsBadVersion(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("TDTR\xff\x00\x00\x00"))); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReaderShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("TD"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestReaderTruncatedEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(sampleEvent(1)); err != nil || w.Flush() != nil {
+		t.Fatal("write failed")
+	}
+	data := buf.Bytes()[:buf.Len()-3] // chop the final event
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestEventDir(t *testing.T) {
+	if (Event{Ack: true}).Dir() != core.DirAck || (Event{}).Dir() != core.DirData {
+		t.Fatal("Dir mapping wrong")
+	}
+}
+
+// TestRecordReplayTPCA is the end-to-end use case: record a TPC/A run via
+// the tpca Observer hook, replay it through a fresh demuxer of the same
+// algorithm, and check the replayed cost statistics land near the original
+// run's. (Exact equality is not expected: the recording's PCBs insert on
+// first appearance, while the live run pre-inserts all users.)
+func TestRecordReplayTPCA(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 150
+	cfg := tpca.Config{
+		Users: n, ResponseTime: 0.2, RTT: 0.001, Seed: 9,
+		WarmupTxns: 3 * n, MeasuredTxns: 20 * n,
+		Observer: func(ts float64, key core.Key, send, ack bool) {
+			if err := w.Write(Event{Time: ts, Tuple: key.Tuple(), Send: send, Ack: ack}); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	live, err := tpca.Run(core.NewSequentHash(19, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 packets per transaction (2 in, 2 out), warm-up + measured + drain.
+	if w.Count() < uint64(4*(cfg.WarmupTxns+cfg.MeasuredTxns)) {
+		t.Fatalf("recorded only %d events", w.Count())
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(core.NewSequentHash(19, nil), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Connections != n {
+		t.Fatalf("replay saw %d connections, want %d", rep.Connections, n)
+	}
+	if rep.Arrivals == 0 || rep.Events != w.Count() {
+		t.Fatalf("replay consumed %d/%d events, %d arrivals", rep.Events, w.Count(), rep.Arrivals)
+	}
+	// Replay includes warm-up, so compare loosely against the live
+	// measured mean.
+	if rep.MeanExamined < live.Overall.Mean()*0.7 || rep.MeanExamined > live.Overall.Mean()*1.3 {
+		t.Fatalf("replay mean %v far from live %v", rep.MeanExamined, live.Overall.Mean())
+	}
+}
+
+// TestReplayDeterministic replays the same bytes twice through the same
+// algorithm and demands identical statistics.
+func TestReplayDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		ev := Event{Time: float64(i), Tuple: tpca.UserKey(i % 40).Tuple(), Ack: i%2 == 1}
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	run := func() *ReplayResult {
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Replay(core.NewBSDList(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanExamined != b.MeanExamined || a.Stats != b.Stats {
+		t.Fatalf("replay nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestReplayAcrossAlgorithmsAgreeOnMembership(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 500; i++ {
+		if err := w.Write(Event{Time: float64(i), Tuple: tpca.UserKey(i % 25).Tuple()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range core.Algorithms() {
+		d, err := core.New(algo, core.Config{Chains: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Replay(d, r)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if res.Connections != 25 || res.Arrivals != 500 {
+			t.Fatalf("%s: %+v", algo, res)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package trains implements the packet-train workload of Jain & Routhier
+// [JR86] that the paper contrasts with OLTP traffic (§1): bulk-data
+// transfers deliver long bursts of back-to-back segments on one connection,
+// so the next segment almost always uses the same PCB as the last. This is
+// the regime the BSD one-entry cache was designed for, and the regime in
+// which any replacement must not regress ("while still maintaining good
+// performance for packet-train traffic").
+//
+// The generator interleaves trains from a configurable number of concurrent
+// connections: a connection wakes, emits a geometric-length train of data
+// segments (each prompting an inbound ack too, per the simple-ack model),
+// then sleeps for an exponential inter-train gap.
+package trains
+
+import (
+	"errors"
+	"fmt"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/sim"
+	"tcpdemux/internal/stats"
+	"tcpdemux/internal/wire"
+)
+
+// Config parameterizes a packet-train run. The receiver under test is a
+// bulk-data sink: inbound data segments dominate, with the receiver's
+// window updates flowing out.
+type Config struct {
+	// Connections is the number of concurrent bulk transfers.
+	Connections int
+	// MeanTrainLen is the mean number of segments per train (geometric).
+	MeanTrainLen float64
+	// SegmentGap is the within-train inter-segment time in seconds
+	// (back-to-back wire time for an MTU segment; ~1.2 ms on 10 Mb/s
+	// Ethernet, the paper's era).
+	SegmentGap float64
+	// MeanInterTrain is the mean gap between a connection's trains.
+	MeanInterTrain float64
+	// Segments is the total number of inbound segments to measure.
+	Segments int
+	// Seed seeds the RNG.
+	Seed uint64
+}
+
+// withDefaults fills zero fields with era-appropriate values.
+func (c Config) withDefaults() Config {
+	if c.MeanTrainLen == 0 {
+		c.MeanTrainLen = 20
+	}
+	if c.SegmentGap == 0 {
+		c.SegmentGap = 0.0012
+	}
+	if c.MeanInterTrain == 0 {
+		c.MeanInterTrain = 0.5
+	}
+	if c.Segments == 0 {
+		c.Segments = 20000
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Connections < 1 {
+		return errors.New("trains: need at least one connection")
+	}
+	if c.MeanTrainLen < 0 || c.SegmentGap < 0 || c.MeanInterTrain < 0 {
+		return errors.New("trains: negative timing parameter")
+	}
+	return nil
+}
+
+// Result carries the measured statistics.
+type Result struct {
+	Algorithm    string
+	Config       Config
+	Examined     stats.Summary
+	CacheHitRate float64
+	Segments     uint64
+	// Trains is the number of trains started, so Segments/Trains estimates
+	// the realized mean train length.
+	Trains uint64
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: conns=%d trainlen=%g mean=%.2f hit=%.1f%%",
+		r.Algorithm, r.Config.Connections, r.Config.MeanTrainLen,
+		r.Examined.Mean(), r.CacheHitRate*100)
+}
+
+// connKey returns the receiver-side key for bulk connection i.
+func connKey(i int) core.Key {
+	return core.Key{
+		LocalAddr:  wire.MakeAddr(10, 0, 0, 1),
+		LocalPort:  5001, // classic ttcp port
+		RemoteAddr: wire.MakeAddr(10, 3, byte(i>>8), byte(i)),
+		RemotePort: uint16(33000 + i),
+	}
+}
+
+// Run drives the demuxer with the packet-train workload and returns the
+// measured statistics.
+func Run(d core.Demuxer, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+
+	pcbs := make([]*core.PCB, cfg.Connections)
+	for i := range pcbs {
+		pcbs[i] = core.NewPCB(connKey(i))
+		if err := d.Insert(pcbs[i]); err != nil {
+			return nil, fmt.Errorf("trains: inserting PCB %d: %w", i, err)
+		}
+	}
+
+	res := &Result{Algorithm: d.Name(), Config: cfg}
+	d.Stats().Reset()
+	var (
+		kernel   sim.Sim
+		received int
+		schedErr error
+	)
+	schedule := func(delay float64, ev sim.Event) {
+		if schedErr != nil {
+			return
+		}
+		if _, err := kernel.After(delay, ev); err != nil {
+			schedErr = err
+		}
+	}
+
+	// trainLen draws a geometric train length with the configured mean.
+	trainLen := func() int {
+		n := 1
+		p := 1 / cfg.MeanTrainLen
+		for src.Float64() > p {
+			n++
+		}
+		return n
+	}
+
+	var startTrain func(i int) sim.Event
+	var segment func(i, remaining int) sim.Event
+
+	segment = func(i, remaining int) sim.Event {
+		return func(float64) {
+			if received >= cfg.Segments {
+				return
+			}
+			received++
+			r := d.Lookup(pcbs[i].Key, core.DirData)
+			if r.PCB != pcbs[i] {
+				schedErr = fmt.Errorf("trains: wrong PCB for connection %d", i)
+				return
+			}
+			res.Examined.Add(float64(r.Examined))
+			// Window-update ack goes back out.
+			d.NotifySend(pcbs[i])
+			if remaining > 1 {
+				schedule(cfg.SegmentGap, segment(i, remaining-1))
+			} else {
+				schedule(src.Exp(cfg.MeanInterTrain), startTrain(i))
+			}
+		}
+	}
+	startTrain = func(i int) sim.Event {
+		return func(now float64) {
+			if received >= cfg.Segments {
+				return
+			}
+			res.Trains++
+			segment(i, trainLen())(now)
+		}
+	}
+
+	for i := range pcbs {
+		schedule(src.Exp(cfg.MeanInterTrain), startTrain(i))
+	}
+	kernel.Run()
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	res.Segments = uint64(res.Examined.N())
+	if st := d.Stats(); st.Lookups > 0 {
+		res.CacheHitRate = st.HitRate()
+	}
+	return res, nil
+}
+
+// IdealHitRate returns the best possible one-entry cache hit rate for a
+// single connection sending geometric trains of the given mean length:
+// every segment but the first of each train hits, (B-1)/B.
+func IdealHitRate(meanTrainLen float64) float64 {
+	if meanTrainLen <= 0 {
+		return 0
+	}
+	return (meanTrainLen - 1) / meanTrainLen
+}

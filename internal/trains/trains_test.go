@@ -1,0 +1,136 @@
+package trains
+
+import (
+	"math"
+	"testing"
+
+	"tcpdemux/internal/core"
+)
+
+func run(t *testing.T, algo string, cfg Config, dcfg core.Config) *Result {
+	t.Helper()
+	d, err := core.New(algo, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSingleStreamBSDCacheNearIdeal reproduces the paper's §1 claim: with
+// bulk-data packet trains "a very simple one-PCB cache like those used in
+// BSD systems yields very high cache hit rates."
+func TestSingleStreamBSDCacheNearIdeal(t *testing.T) {
+	cfg := Config{Connections: 1, MeanTrainLen: 20, Segments: 20000, Seed: 1}
+	r := run(t, "bsd", cfg, core.Config{})
+	if r.CacheHitRate < 0.95 {
+		t.Fatalf("single-stream hit rate = %v, want near 1", r.CacheHitRate)
+	}
+	if r.Examined.Mean() > 1.1 {
+		t.Fatalf("single-stream mean examined = %v", r.Examined.Mean())
+	}
+}
+
+// TestFewStreamsBSDStillGood checks the moderate-concurrency regime: with a
+// handful of interleaving transfers the hit rate tracks roughly (B-1)/B
+// within each train.
+func TestFewStreamsBSDStillGood(t *testing.T) {
+	cfg := Config{Connections: 8, MeanTrainLen: 20, Segments: 40000, Seed: 2}
+	r := run(t, "bsd", cfg, core.Config{})
+	// Trains interleave, so inter-train switches and overlapping trains
+	// miss; within-train segments are back-to-back (1.2 ms) against 0.5 s
+	// inter-train gaps, so well over half the segments still hit.
+	if r.CacheHitRate < 0.6 {
+		t.Fatalf("8-stream hit rate = %v", r.CacheHitRate)
+	}
+}
+
+// TestSequentGoodOnTrainsToo is the other half of the paper's claim: the
+// hashed design must not regress on packet trains ("while still
+// maintaining good performance for packet-train traffic", abstract).
+func TestSequentGoodOnTrainsToo(t *testing.T) {
+	cfg := Config{Connections: 8, MeanTrainLen: 20, Segments: 40000, Seed: 3}
+	bsd := run(t, "bsd", cfg, core.Config{})
+	seq := run(t, "sequent", cfg, core.Config{Chains: 19})
+	if seq.Examined.Mean() > bsd.Examined.Mean()*1.2 {
+		t.Fatalf("Sequent regressed on trains: %v vs BSD %v",
+			seq.Examined.Mean(), bsd.Examined.Mean())
+	}
+	if seq.CacheHitRate < bsd.CacheHitRate*0.9 {
+		t.Fatalf("Sequent hit rate %v well below BSD %v", seq.CacheHitRate, bsd.CacheHitRate)
+	}
+}
+
+// TestManyStreamsErodeBSDCache shows the transition the paper pivots on:
+// as concurrency rises toward OLTP-like interleaving, the single cache
+// stops helping while Sequent's per-chain caches hold up.
+func TestManyStreamsErodeBSDCache(t *testing.T) {
+	// Back-to-back interleaving: zero inter-train gap and short trains.
+	cfg := Config{Connections: 200, MeanTrainLen: 2, SegmentGap: 0.001,
+		MeanInterTrain: 0.001, Segments: 60000, Seed: 4}
+	bsd := run(t, "bsd", cfg, core.Config{})
+	seq := run(t, "sequent", cfg, core.Config{Chains: 19})
+	if bsd.CacheHitRate > 0.6 {
+		t.Fatalf("expected eroded BSD hit rate, got %v", bsd.CacheHitRate)
+	}
+	if seq.Examined.Mean() > bsd.Examined.Mean()/3 {
+		t.Fatalf("Sequent %v not clearly better than BSD %v under interleaving",
+			seq.Examined.Mean(), bsd.Examined.Mean())
+	}
+}
+
+func TestIdealHitRate(t *testing.T) {
+	if IdealHitRate(20) != 0.95 {
+		t.Fatalf("ideal(20) = %v", IdealHitRate(20))
+	}
+	if IdealHitRate(1) != 0 || IdealHitRate(0) != 0 {
+		t.Fatal("degenerate ideal hit rates wrong")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for _, cfg := range []Config{{Connections: 0}, {Connections: 1, SegmentGap: -1}} {
+		if _, err := Run(core.NewMapDemux(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Connections: 4, Segments: 5000, Seed: 9}
+	a := run(t, "sr", cfg, core.Config{})
+	b := run(t, "sr", cfg, core.Config{})
+	if a.Examined.Mean() != b.Examined.Mean() || a.Segments != b.Segments {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestSegmentBudgetRespected(t *testing.T) {
+	cfg := Config{Connections: 3, Segments: 1234, Seed: 5}
+	r := run(t, "map", cfg, core.Config{})
+	if r.Segments != 1234 {
+		t.Fatalf("measured %d segments", r.Segments)
+	}
+}
+
+func TestMeanTrainLengthApproximatesConfig(t *testing.T) {
+	cfg := Config{Connections: 1, MeanTrainLen: 10, Segments: 50000, Seed: 6}
+	r := run(t, "bsd", cfg, core.Config{})
+	got := float64(r.Segments) / float64(r.Trains)
+	if math.Abs(got-10)/10 > 0.1 {
+		t.Fatalf("realized mean train length %v, want ≈ 10", got)
+	}
+}
+
+func TestSingleConnectionCacheNeverEvicted(t *testing.T) {
+	// With exactly one PCB nothing can evict the cache: after the first
+	// segment every lookup is a hit, regardless of the train structure.
+	cfg := Config{Connections: 1, MeanTrainLen: 3, Segments: 10000, Seed: 8}
+	r := run(t, "bsd", cfg, core.Config{})
+	if r.CacheHitRate < 0.999 {
+		t.Fatalf("single-PCB hit rate = %v", r.CacheHitRate)
+	}
+}

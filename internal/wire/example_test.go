@@ -1,0 +1,42 @@
+package wire_test
+
+import (
+	"fmt"
+
+	"tcpdemux/internal/wire"
+)
+
+// Build a TCP/IPv4 frame, then demultiplex-extract its tuple without a
+// full parse — the receive fast path.
+func ExampleBuildSegment() {
+	frame, err := wire.BuildSegment(
+		wire.IPv4Header{
+			TTL: 64,
+			Src: wire.MakeAddr(10, 1, 0, 5),
+			Dst: wire.MakeAddr(10, 0, 0, 1),
+		},
+		wire.TCPHeader{
+			SrcPort: 31005, DstPort: 1521,
+			Seq: 1000, Ack: 2000,
+			Flags: wire.FlagACK | wire.FlagPSH, Window: 65535,
+		},
+		[]byte("BEGIN TRANSACTION"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	tuple, err := wire.ExtractTuple(frame)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tuple)
+
+	seg, err := wire.ParseSegment(frame)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(seg.Summary())
+	// Output:
+	// 10.1.0.5:31005 > 10.0.0.1:1521
+	// 10.1.0.5:31005 > 10.0.0.1:1521: Flags [PSH|ACK], seq 1000, ack 2000, win 65535, length 17
+}

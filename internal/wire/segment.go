@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors reported by the segment layer.
+var (
+	// ErrNotTCP is returned when a frame's IP protocol field is not TCP.
+	ErrNotTCP = errors.New("wire: IP protocol is not TCP")
+	// ErrFragmented is returned for IP fragments: only a reassembled
+	// datagram carries a complete TCP header, so fragments cannot be
+	// demultiplexed directly (see the frag package).
+	ErrFragmented = errors.New("wire: IP datagram is fragmented")
+)
+
+// Segment is a fully parsed IPv4/TCP packet.
+type Segment struct {
+	IP      IPv4Header
+	TCP     TCPHeader
+	Payload []byte
+}
+
+// Tuple is the 96-bit demultiplexing tuple the paper describes: the source
+// and destination IP addresses and TCP ports of an inbound segment. It is
+// comparable and allocation-free.
+type Tuple struct {
+	SrcAddr Addr
+	DstAddr Addr
+	SrcPort uint16
+	DstPort uint16
+}
+
+// String renders the tuple as "src:port > dst:port".
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s:%d > %s:%d", t.SrcAddr, t.SrcPort, t.DstAddr, t.DstPort)
+}
+
+// Reverse returns the tuple as seen from the opposite direction.
+func (t Tuple) Reverse() Tuple {
+	return Tuple{SrcAddr: t.DstAddr, DstAddr: t.SrcAddr, SrcPort: t.DstPort, DstPort: t.SrcPort}
+}
+
+// BuildSegment serializes an IPv4/TCP segment into a fresh buffer: it fills
+// in the IP total length, protocol, and both checksums. The given headers
+// are not modified.
+func BuildSegment(ip IPv4Header, tcp TCPHeader, payload []byte) ([]byte, error) {
+	tcpLen, err := tcp.HeaderLen()
+	if err != nil {
+		return nil, err
+	}
+	ip.Protocol = protoTCP
+	ipLen := ip.HeaderLen()
+	total := ipLen + tcpLen + len(payload)
+	if total > 0xffff {
+		return nil, ErrIPv4BadLength
+	}
+	ip.TotalLen = uint16(total)
+
+	buf := make([]byte, 0, total)
+	buf, err = ip.Marshal(buf)
+	if err != nil {
+		return nil, err
+	}
+	buf, err = tcp.Marshal(buf)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, payload...)
+	seg := buf[ipLen:]
+	cs := TCPChecksum(ip.Src, ip.Dst, seg)
+	putU16(seg[16:], cs)
+	return buf, nil
+}
+
+// ParseSegment parses and validates a raw IPv4/TCP frame, checking both
+// checksums. The returned Segment's Payload aliases frame.
+func ParseSegment(frame []byte) (*Segment, error) {
+	var seg Segment
+	n, err := seg.IP.Unmarshal(frame)
+	if err != nil {
+		return nil, err
+	}
+	if seg.IP.Protocol != protoTCP {
+		return nil, ErrNotTCP
+	}
+	if seg.IP.IsFragment() {
+		return nil, ErrFragmented
+	}
+	body := frame[n:seg.IP.TotalLen]
+	if !VerifyTCPChecksum(seg.IP.Src, seg.IP.Dst, body) {
+		return nil, ErrTCPBadChecksum
+	}
+	m, err := seg.TCP.Unmarshal(body)
+	if err != nil {
+		return nil, err
+	}
+	seg.Payload = body[m:]
+	return &seg, nil
+}
+
+// Tuple returns the segment's demultiplexing tuple.
+func (s *Segment) Tuple() Tuple {
+	return Tuple{
+		SrcAddr: s.IP.Src, DstAddr: s.IP.Dst,
+		SrcPort: s.TCP.SrcPort, DstPort: s.TCP.DstPort,
+	}
+}
+
+// ExtractTuple pulls the demultiplexing tuple out of a raw frame without
+// fully parsing or validating it — the fast path a receive interrupt would
+// take before PCB lookup. It validates only what it must to find the ports:
+// version, IHL, protocol, and length. It performs no allocation.
+func ExtractTuple(frame []byte) (Tuple, error) {
+	var t Tuple
+	if len(frame) < IPv4HeaderLen {
+		return t, ErrIPv4Truncated
+	}
+	if frame[0]>>4 != ipv4Version {
+		return t, ErrIPv4Version
+	}
+	hlen := int(frame[0]&0x0f) * 4
+	if hlen < IPv4HeaderLen {
+		return t, ErrIPv4BadIHL
+	}
+	if frame[9] != protoTCP {
+		return t, ErrNotTCP
+	}
+	// A non-first fragment has payload bytes, not a TCP header, where the
+	// ports would be read; a first fragment (MF set) is incomplete. Either
+	// way the datagram must be reassembled before demultiplexing.
+	if ff := getU16(frame[6:]); ff&(ipFlagMF<<13|0x1fff) != 0 {
+		return t, ErrFragmented
+	}
+	if len(frame) < hlen+4 { // need at least the TCP port words
+		return t, ErrTCPTruncated
+	}
+	copy(t.SrcAddr[:], frame[12:16])
+	copy(t.DstAddr[:], frame[16:20])
+	t.SrcPort = getU16(frame[hlen:])
+	t.DstPort = getU16(frame[hlen+2:])
+	return t, nil
+}

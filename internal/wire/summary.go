@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a parsed segment as a one-line, tcpdump-flavoured
+// description for logs and diagnostics:
+//
+//	10.1.0.5:31005 > 10.0.0.1:1521: Flags [PSH|ACK], seq 1000, ack 2000, win 65535, length 43
+func (s *Segment) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d > %s:%d: Flags [%s], seq %d",
+		s.IP.Src, s.TCP.SrcPort, s.IP.Dst, s.TCP.DstPort,
+		FlagNames(s.TCP.Flags), s.TCP.Seq)
+	if s.TCP.Flags&FlagACK != 0 {
+		fmt.Fprintf(&b, ", ack %d", s.TCP.Ack)
+	}
+	fmt.Fprintf(&b, ", win %d", s.TCP.Window)
+	if len(s.TCP.Options) > 0 {
+		names := make([]string, len(s.TCP.Options))
+		for i, o := range s.TCP.Options {
+			names[i] = optionName(o)
+		}
+		fmt.Fprintf(&b, ", options [%s]", strings.Join(names, ","))
+	}
+	fmt.Fprintf(&b, ", length %d", len(s.Payload))
+	return b.String()
+}
+
+// optionName renders one TCP option compactly.
+func optionName(o TCPOption) string {
+	switch o.Kind {
+	case OptMSS:
+		if len(o.Data) == 2 {
+			return fmt.Sprintf("mss %d", getU16(o.Data))
+		}
+		return "mss"
+	case OptWindowScale:
+		if len(o.Data) == 1 {
+			return fmt.Sprintf("wscale %d", o.Data[0])
+		}
+		return "wscale"
+	case OptSACKPermit:
+		return "sackOK"
+	case OptTimestamps:
+		return "TS"
+	default:
+		return fmt.Sprintf("opt-%d", o.Kind)
+	}
+}

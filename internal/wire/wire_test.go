@@ -1,0 +1,497 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// --- checksum ---------------------------------------------------------------
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// The worked example from RFC 1071 §3: words 0x0001, 0xf203, 0xf4f5,
+	// 0xf6f7 sum to 0xddf2 with carries; checksum is its complement 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Fatalf("checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd byte is padded with zero on the right.
+	if Checksum([]byte{0xab}) != ^uint16(0xab00) {
+		t.Fatal("odd-length padding wrong")
+	}
+}
+
+func TestChecksumEmpty(t *testing.T) {
+	if Checksum(nil) != 0xffff {
+		t.Fatal("empty checksum should be ^0 = 0xffff")
+	}
+}
+
+func TestChecksumVerifiesToZero(t *testing.T) {
+	// Appending the checksum to the data makes the whole verify to 0.
+	f := func(data []byte) bool {
+		if len(data)%2 != 0 {
+			data = append(data, 0)
+		}
+		cs := Checksum(data)
+		withCS := append(append([]byte(nil), data...), byte(cs>>8), byte(cs))
+		// One's-complement residue of data+checksum is 0 (i.e. Checksum
+		// returns 0 or 0xffff, both representations of one's-complement 0).
+		got := Checksum(withCS)
+		return got == 0 || got == 0xffff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPChecksumRoundTrip(t *testing.T) {
+	src, dst := MakeAddr(10, 0, 0, 1), MakeAddr(10, 0, 0, 2)
+	seg := make([]byte, TCPHeaderLen+5)
+	for i := range seg {
+		seg[i] = byte(i * 7)
+	}
+	seg[16], seg[17] = 0, 0 // zero checksum field
+	cs := TCPChecksum(src, dst, seg)
+	seg[16], seg[17] = byte(cs>>8), byte(cs)
+	if !VerifyTCPChecksum(src, dst, seg) {
+		t.Fatal("checksum did not verify")
+	}
+	seg[4] ^= 0x40 // corrupt a sequence byte
+	if VerifyTCPChecksum(src, dst, seg) {
+		t.Fatal("corruption not detected")
+	}
+}
+
+// --- IPv4 -------------------------------------------------------------------
+
+func sampleIP() IPv4Header {
+	return IPv4Header{
+		TOS: 0x10, ID: 0x1234, Flags: 0x2, FragOff: 0,
+		TTL: 64, Protocol: protoTCP,
+		Src: MakeAddr(192, 168, 1, 10), Dst: MakeAddr(10, 0, 0, 1),
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := sampleIP()
+	h.TotalLen = 40
+	buf, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != IPv4HeaderLen {
+		t.Fatalf("marshaled %d bytes", len(buf))
+	}
+	// Pad to TotalLen so Unmarshal's length check passes.
+	buf = append(buf, make([]byte, 20)...)
+	var g IPv4Header
+	n, err := g.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != IPv4HeaderLen {
+		t.Fatalf("consumed %d", n)
+	}
+	if g.TOS != h.TOS || g.ID != h.ID || g.Flags != h.Flags || g.TTL != h.TTL ||
+		g.Protocol != h.Protocol || g.Src != h.Src || g.Dst != h.Dst || g.TotalLen != 40 {
+		t.Fatalf("round trip mismatch: %+v vs %+v", g, h)
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	h := sampleIP()
+	h.Options = []byte{7, 4, 0, 0} // record-route-ish, padded to 4
+	h.TotalLen = 24
+	buf, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 24 {
+		t.Fatalf("header with options is %d bytes", len(buf))
+	}
+	var g IPv4Header
+	n, err := g.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 24 || !bytes.Equal(g.Options, h.Options) {
+		t.Fatalf("options lost: %v", g.Options)
+	}
+}
+
+func TestIPv4BadOptionLength(t *testing.T) {
+	h := sampleIP()
+	h.Options = []byte{1, 2, 3} // not a multiple of 4
+	if _, err := h.Marshal(nil); !errors.Is(err, ErrIPv4BadIHL) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIPv4UnmarshalErrors(t *testing.T) {
+	h := sampleIP()
+	h.TotalLen = IPv4HeaderLen
+	good, _ := h.Marshal(nil)
+
+	if _, err := new(IPv4Header).Unmarshal(good[:10]); !errors.Is(err, ErrIPv4Truncated) {
+		t.Errorf("truncated: %v", err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 6<<4 | 5 // IPv6 version nibble
+	if _, err := new(IPv4Header).Unmarshal(bad); !errors.Is(err, ErrIPv4Version) {
+		t.Errorf("version: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[0] = 4<<4 | 3 // IHL below 5
+	if _, err := new(IPv4Header).Unmarshal(bad); !errors.Is(err, ErrIPv4BadIHL) {
+		t.Errorf("ihl: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[2], bad[3] = 0xff, 0xff // total length beyond buffer
+	if _, err := new(IPv4Header).Unmarshal(bad); !errors.Is(err, ErrIPv4BadLength) {
+		t.Errorf("length: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[8]++ // flip TTL, breaking the checksum
+	if _, err := new(IPv4Header).Unmarshal(bad); !errors.Is(err, ErrIPv4BadChecksum) {
+		t.Errorf("checksum: %v", err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if s := MakeAddr(192, 168, 0, 1).String(); s != "192.168.0.1" {
+		t.Fatalf("addr string = %q", s)
+	}
+}
+
+// --- TCP --------------------------------------------------------------------
+
+func sampleTCP() TCPHeader {
+	return TCPHeader{
+		SrcPort: 49152, DstPort: 8080,
+		Seq: 0xdeadbeef, Ack: 0x01020304,
+		Flags: FlagACK | FlagPSH, Window: 65535, Urgent: 0,
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := sampleTCP()
+	buf, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g TCPHeader
+	n, err := g.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != TCPHeaderLen {
+		t.Fatalf("consumed %d", n)
+	}
+	if g.SrcPort != h.SrcPort || g.DstPort != h.DstPort || g.Seq != h.Seq ||
+		g.Ack != h.Ack || g.Flags != h.Flags || g.Window != h.Window {
+		t.Fatalf("round trip mismatch: %+v vs %+v", g, h)
+	}
+}
+
+func TestTCPOptionsRoundTrip(t *testing.T) {
+	h := sampleTCP()
+	h.Flags = FlagSYN
+	h.Options = []TCPOption{
+		MSSOption(1460),
+		{Kind: OptWindowScale, Data: []byte{7}},
+		{Kind: OptSACKPermit},
+	}
+	buf, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf)%4 != 0 {
+		t.Fatalf("header length %d not padded", len(buf))
+	}
+	var g TCPHeader
+	if _, err := g.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Options) != 3 {
+		t.Fatalf("got %d options", len(g.Options))
+	}
+	if g.Options[0].Kind != OptMSS || getU16(g.Options[0].Data) != 1460 {
+		t.Fatalf("MSS option wrong: %+v", g.Options[0])
+	}
+	if g.Options[1].Kind != OptWindowScale || g.Options[1].Data[0] != 7 {
+		t.Fatalf("wscale option wrong: %+v", g.Options[1])
+	}
+	if g.Options[2].Kind != OptSACKPermit || len(g.Options[2].Data) != 0 {
+		t.Fatalf("sack-permit option wrong: %+v", g.Options[2])
+	}
+}
+
+func TestTCPOptionsWithNOPPadding(t *testing.T) {
+	// Hand-build a header using NOPs between options, as real stacks emit.
+	raw := make([]byte, 24)
+	putU16(raw[0:], 1000)
+	putU16(raw[2:], 2000)
+	raw[12] = 6 << 4 // 24-byte header
+	raw[20] = OptNOP
+	raw[21] = OptNOP
+	raw[22] = OptWindowScale
+	raw[23] = 0 // malformed: length 0
+	var g TCPHeader
+	if _, err := g.Unmarshal(raw); !errors.Is(err, ErrTCPBadOptions) {
+		t.Fatalf("expected bad options, got %v", err)
+	}
+	raw[22] = OptNOP
+	raw[23] = OptEnd
+	if _, err := g.Unmarshal(raw); err != nil {
+		t.Fatalf("NOP/End padding should parse: %v", err)
+	}
+	if len(g.Options) != 0 {
+		t.Fatalf("padding produced options: %v", g.Options)
+	}
+}
+
+func TestTCPRejectsOversizeOptions(t *testing.T) {
+	h := sampleTCP()
+	h.Options = []TCPOption{{Kind: 200, Data: make([]byte, 50)}}
+	if _, err := h.Marshal(nil); !errors.Is(err, ErrTCPBadOffset) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPRejectsExplicitPaddingKinds(t *testing.T) {
+	h := sampleTCP()
+	h.Options = []TCPOption{{Kind: OptNOP}}
+	if _, err := h.Marshal(nil); !errors.Is(err, ErrTCPBadOptions) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPUnmarshalErrors(t *testing.T) {
+	if _, err := new(TCPHeader).Unmarshal(make([]byte, 10)); !errors.Is(err, ErrTCPTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+	raw := make([]byte, TCPHeaderLen)
+	raw[12] = 4 << 4 // offset below 5
+	if _, err := new(TCPHeader).Unmarshal(raw); !errors.Is(err, ErrTCPBadOffset) {
+		t.Errorf("offset: %v", err)
+	}
+	raw[12] = 10 << 4 // offset says 40 bytes, buffer has 20
+	if _, err := new(TCPHeader).Unmarshal(raw); !errors.Is(err, ErrTCPTruncated) {
+		t.Errorf("options truncated: %v", err)
+	}
+}
+
+func TestFlagNames(t *testing.T) {
+	if s := FlagNames(FlagSYN | FlagACK); s != "SYN|ACK" {
+		t.Fatalf("flags = %q", s)
+	}
+	if s := FlagNames(0); s != "none" {
+		t.Fatalf("zero flags = %q", s)
+	}
+}
+
+// --- segments ----------------------------------------------------------------
+
+func TestBuildParseSegment(t *testing.T) {
+	payload := []byte("SELECT balance FROM accounts WHERE id = 42")
+	frame, err := BuildSegment(sampleIP(), sampleTCP(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := ParseSegment(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seg.Payload, payload) {
+		t.Fatalf("payload mismatch: %q", seg.Payload)
+	}
+	if seg.TCP.SrcPort != 49152 || seg.IP.Dst != MakeAddr(10, 0, 0, 1) {
+		t.Fatal("header fields mismatch")
+	}
+}
+
+func TestParseSegmentDetectsCorruption(t *testing.T) {
+	frame, _ := BuildSegment(sampleIP(), sampleTCP(), []byte("x"))
+	frame[len(frame)-1] ^= 0xff
+	if _, err := ParseSegment(frame); !errors.Is(err, ErrTCPBadChecksum) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseSegmentRejectsNonTCP(t *testing.T) {
+	ip := sampleIP()
+	ip.TotalLen = IPv4HeaderLen
+	buf, _ := ip.Marshal(nil)
+	buf[9] = 17 // UDP
+	// Re-fix header checksum after the edit.
+	buf[10], buf[11] = 0, 0
+	cs := Checksum(buf)
+	putU16(buf[10:], cs)
+	if _, err := ParseSegment(buf); !errors.Is(err, ErrNotTCP) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSegmentTuple(t *testing.T) {
+	frame, _ := BuildSegment(sampleIP(), sampleTCP(), nil)
+	seg, err := ParseSegment(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := seg.Tuple()
+	want := Tuple{
+		SrcAddr: MakeAddr(192, 168, 1, 10), DstAddr: MakeAddr(10, 0, 0, 1),
+		SrcPort: 49152, DstPort: 8080,
+	}
+	if tu != want {
+		t.Fatalf("tuple = %v", tu)
+	}
+	if tu.Reverse().Reverse() != tu {
+		t.Fatal("double reverse should be identity")
+	}
+}
+
+func TestExtractTupleMatchesFullParse(t *testing.T) {
+	frame, _ := BuildSegment(sampleIP(), sampleTCP(), []byte("hello"))
+	fast, err := ExtractTuple(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := ParseSegment(frame)
+	if fast != seg.Tuple() {
+		t.Fatalf("fast %v vs full %v", fast, seg.Tuple())
+	}
+}
+
+func TestExtractTupleWithIPOptions(t *testing.T) {
+	ip := sampleIP()
+	ip.Options = []byte{7, 4, 0, 0}
+	frame, err := BuildSegment(ip, sampleTCP(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ExtractTuple(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.SrcPort != 49152 || fast.DstPort != 8080 {
+		t.Fatalf("ports misread with IP options: %v", fast)
+	}
+}
+
+func TestExtractTupleErrors(t *testing.T) {
+	if _, err := ExtractTuple(make([]byte, 8)); !errors.Is(err, ErrIPv4Truncated) {
+		t.Errorf("short: %v", err)
+	}
+	frame, _ := BuildSegment(sampleIP(), sampleTCP(), nil)
+	bad := append([]byte(nil), frame...)
+	bad[0] = 0x65
+	if _, err := ExtractTuple(bad); !errors.Is(err, ErrIPv4Version) {
+		t.Errorf("version: %v", err)
+	}
+	bad = append([]byte(nil), frame...)
+	bad[9] = 17
+	if _, err := ExtractTuple(bad); !errors.Is(err, ErrNotTCP) {
+		t.Errorf("proto: %v", err)
+	}
+	if _, err := ExtractTuple(frame[:IPv4HeaderLen+2]); !errors.Is(err, ErrTCPTruncated) {
+		t.Errorf("tcp short: %v", err)
+	}
+}
+
+func TestExtractTupleNoAlloc(t *testing.T) {
+	frame, _ := BuildSegment(sampleIP(), sampleTCP(), nil)
+	n := testing.AllocsPerRun(100, func() {
+		if _, err := ExtractTuple(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("ExtractTuple allocates %v times per run", n)
+	}
+}
+
+func TestSegmentRoundTripQuick(t *testing.T) {
+	f := func(srcIP, dstIP [4]byte, sport, dport uint16, seq, ack uint32, payload []byte) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		ip := IPv4Header{TTL: 64, Src: srcIP, Dst: dstIP}
+		tcp := TCPHeader{SrcPort: sport, DstPort: dport, Seq: seq, Ack: ack, Flags: FlagACK}
+		frame, err := BuildSegment(ip, tcp, payload)
+		if err != nil {
+			return false
+		}
+		seg, err := ParseSegment(frame)
+		if err != nil {
+			return false
+		}
+		return seg.TCP.SrcPort == sport && seg.TCP.DstPort == dport &&
+			seg.TCP.Seq == seq && seg.TCP.Ack == ack &&
+			seg.IP.Src == Addr(srcIP) && seg.IP.Dst == Addr(dstIP) &&
+			bytes.Equal(seg.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExtractTuple(b *testing.B) {
+	frame, _ := BuildSegment(sampleIP(), sampleTCP(), make([]byte, 100))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractTuple(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseSegment(b *testing.B) {
+	frame, _ := BuildSegment(sampleIP(), sampleTCP(), make([]byte, 100))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSegment(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSegmentSummary(t *testing.T) {
+	tcp := sampleTCP()
+	tcp.Flags = FlagSYN
+	tcp.Options = []TCPOption{MSSOption(1460), {Kind: OptWindowScale, Data: []byte{7}}, {Kind: OptSACKPermit}}
+	frame, err := BuildSegment(sampleIP(), tcp, []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := ParseSegment(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := seg.Summary()
+	for _, want := range []string{
+		"192.168.1.10:49152 > 10.0.0.1:8080", "Flags [SYN]",
+		"mss 1460", "wscale 7", "sackOK", "length 3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary %q missing %q", got, want)
+		}
+	}
+	// Pure-ack form includes the ack number.
+	tcp2 := sampleTCP()
+	frame2, _ := BuildSegment(sampleIP(), tcp2, nil)
+	seg2, _ := ParseSegment(frame2)
+	if s := seg2.Summary(); !strings.Contains(s, "ack 16909060") {
+		t.Errorf("ack missing from %q", s)
+	}
+}
