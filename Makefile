@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz figures clean
+.PHONY: all build vet test race bench bench-json fuzz figures clean
 
 all: build vet test
 
@@ -13,14 +13,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# test is the tier-1 gate: vet, the full test suite, and the race
+# detector over the concurrent packages.
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/parallel ./internal/rcu
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/engine
+	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json measures the three locking disciplines head-to-head on the
+# read-heavy TPC/A mix and writes BENCH_parallel.json. The default
+# operating point oversubscribes the scheduler (workers >> GOMAXPROCS)
+# so lock-holder preemption — the effect RCU's lock-free read path is
+# immune to — is visible even on small hosts; see cmd/benchjson -h.
+bench-json:
+	$(GO) run ./cmd/benchjson -gomaxprocs 32 -workers 384 -rounds 5 -ops 8000 -n 6000 -out BENCH_parallel.json
 
 # Short fuzz pass over the wire parsers (CI-sized; raise -fuzztime locally).
 fuzz:

@@ -1,0 +1,249 @@
+// Command benchjson runs the three locking disciplines head-to-head on
+// the read-heavy TPC/A mix — global lock, per-chain locks, and the
+// lock-free-read RCU table, per-packet and in batched trains — and writes
+// the measured rates as JSON (BENCH_parallel.json at the repo root).
+//
+// Methodology: every configuration is measured -rounds times with the
+// rounds interleaved round-robin across configurations, and the summary
+// takes each configuration's best round. Interleaving plus best-of-N
+// makes the comparison robust against the slow drift and interference
+// spikes of shared machines, which a single long pass per configuration
+// would fold into whichever algorithm happened to run last.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_parallel.json] [-rounds 5] [-gomaxprocs 4]
+//	          [-workers 4*gomaxprocs] [-ops 200000] [-users 1000]
+//	          [-read 0.99] [-batch 64] [-chains 19] [-seed 7]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/parallel"
+	"tcpdemux/internal/tpca"
+)
+
+// options collects the run parameters; a struct (rather than bare flag
+// globals) so the test harness can drive tiny runs.
+type options struct {
+	Out        string
+	Rounds     int
+	GoMaxProcs int
+	Workers    int
+	Ops        int
+	Users      int
+	TxnsPer    int
+	Read       float64
+	Batch      int
+	Chains     int
+	Seed       uint64
+	ChurnKeys  int
+}
+
+func defaults() options {
+	return options{
+		Out:        "BENCH_parallel.json",
+		Rounds:     5,
+		GoMaxProcs: 4,
+		Workers:    0, // 0 -> 4 * GoMaxProcs
+		Ops:        200_000,
+		Users:      1000,
+		TxnsPer:    4,
+		Read:       0.99,
+		Batch:      64,
+		Chains:     19,
+		Seed:       7,
+		ChurnKeys:  32,
+	}
+}
+
+// round is one measured pass of one configuration.
+type round struct {
+	NsPerOp       float64 `json:"nsPerOp"`
+	LookupsPerSec float64 `json:"lookupsPerSec"`
+	MeanExamined  float64 `json:"meanExamined"`
+	CacheHitRate  float64 `json:"cacheHitRate"`
+}
+
+// result is one configuration's rounds plus its best round.
+type result struct {
+	Discipline string  `json:"discipline"`
+	Mode       string  `json:"mode"`
+	Rounds     []round `json:"rounds"`
+	Best       round   `json:"best"`
+}
+
+// report is the full JSON document.
+type report struct {
+	Benchmark  string             `json:"benchmark"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"numCPU"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Config     map[string]any     `json:"config"`
+	Results    []result           `json:"results"`
+	Summary    summary            `json:"summary"`
+	BestRate   map[string]float64 `json:"bestLookupsPerSec"`
+}
+
+// summary holds the acceptance ratios: the RCU table's best rate against
+// the global-lock and per-chain-lock baselines' best rates.
+type summary struct {
+	RcuOverLocked      float64 `json:"rcuOverLocked"`
+	RcuOverSharded     float64 `json:"rcuOverSharded"`
+	MeetsRcu2xLocked   bool    `json:"meetsRcu2xLocked"`
+	MeetsRcu12xSharded bool    `json:"meetsRcu1_2xSharded"`
+}
+
+func main() {
+	opt := defaults()
+	flag.StringVar(&opt.Out, "out", opt.Out, "output JSON path (- for stdout)")
+	flag.IntVar(&opt.Rounds, "rounds", opt.Rounds, "interleaved measurement rounds per configuration")
+	flag.IntVar(&opt.GoMaxProcs, "gomaxprocs", opt.GoMaxProcs, "GOMAXPROCS for the measurement (acceptance point is >= 4)")
+	flag.IntVar(&opt.Workers, "workers", opt.Workers, "concurrent workers (0 = 4 x gomaxprocs)")
+	flag.IntVar(&opt.Ops, "ops", opt.Ops, "operations per worker per round")
+	flag.IntVar(&opt.Users, "n", opt.Users, "TPC/A users (connection population)")
+	flag.Float64Var(&opt.Read, "read", opt.Read, "lookup fraction of the operation mix")
+	flag.IntVar(&opt.Batch, "batch", opt.Batch, "train length for the batched mode")
+	flag.IntVar(&opt.Chains, "chains", opt.Chains, "hash chains")
+	flag.Uint64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	flag.Parse()
+
+	rep, err := run(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if opt.Out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(opt.Out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (rcu/locked %.2fx, rcu/sharded %.2fx)\n",
+			opt.Out, rep.Summary.RcuOverLocked, rep.Summary.RcuOverSharded)
+	}
+}
+
+// disciplines are the head-to-head variants, global lock to lock-free.
+var disciplinesUnder = []string{"locked-sequent", "sharded-sequent", "rcu-sequent"}
+
+// run executes the interleaved measurement and assembles the report.
+func run(opt options) (*report, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 4 * opt.GoMaxProcs
+	}
+	prev := runtime.GOMAXPROCS(opt.GoMaxProcs)
+	defer runtime.GOMAXPROCS(prev)
+
+	stream, err := parallel.TPCAStream(opt.Users, opt.TxnsPer, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	churn := make([][]core.Key, opt.Workers)
+	for w := range churn {
+		base := opt.Users + 100 + w*opt.ChurnKeys
+		for i := 0; i < opt.ChurnKeys; i++ {
+			churn[w] = append(churn[w], tpca.UserKey(base+i))
+		}
+	}
+
+	type config struct {
+		discipline string
+		mode       string
+		batch      int
+	}
+	var configs []config
+	for _, name := range disciplinesUnder {
+		configs = append(configs, config{name, "perpacket", 0})
+		if opt.Batch > 1 {
+			configs = append(configs, config{name, fmt.Sprintf("batch%d", opt.Batch), opt.Batch})
+		}
+	}
+
+	results := make([]result, len(configs))
+	for i, c := range configs {
+		results[i] = result{Discipline: c.discipline, Mode: c.mode}
+	}
+	// Interleave: round 1 of every configuration, then round 2, ... so
+	// machine drift lands on all configurations alike.
+	for r := 0; r < opt.Rounds; r++ {
+		for i, c := range configs {
+			d, err := parallel.New(c.discipline, core.Config{Chains: opt.Chains})
+			if err != nil {
+				return nil, err
+			}
+			for u := 0; u < opt.Users; u++ {
+				if err := d.Insert(core.NewPCB(tpca.UserKey(u))); err != nil {
+					return nil, err
+				}
+			}
+			res, err := parallel.MeasureThroughput(d, parallel.ThroughputConfig{
+				Workers: opt.Workers, OpsPerWorker: opt.Ops, Stream: stream,
+				ReadFraction: opt.Read, ChurnKeys: churn, Batch: c.batch,
+				Seed: opt.Seed + uint64(r),
+			})
+			if err != nil {
+				return nil, err
+			}
+			rd := round{
+				NsPerOp:       res.NsPerOp,
+				LookupsPerSec: float64(res.Stats.Lookups) / res.Elapsed.Seconds(),
+				MeanExamined:  res.Stats.MeanExamined(),
+				CacheHitRate:  res.Stats.HitRate(),
+			}
+			results[i].Rounds = append(results[i].Rounds, rd)
+			if rd.LookupsPerSec > results[i].Best.LookupsPerSec {
+				results[i].Best = rd
+			}
+		}
+	}
+
+	best := make(map[string]float64)
+	for _, r := range results {
+		if r.Best.LookupsPerSec > best[r.Discipline] {
+			best[r.Discipline] = r.Best.LookupsPerSec
+		}
+	}
+	var sum summary
+	if best["locked-sequent"] > 0 {
+		sum.RcuOverLocked = best["rcu-sequent"] / best["locked-sequent"]
+	}
+	if best["sharded-sequent"] > 0 {
+		sum.RcuOverSharded = best["rcu-sequent"] / best["sharded-sequent"]
+	}
+	sum.MeetsRcu2xLocked = sum.RcuOverLocked >= 2.0
+	sum.MeetsRcu12xSharded = sum.RcuOverSharded >= 1.2
+
+	return &report{
+		Benchmark:  "parallel TPC/A read-heavy mix (parallel.MeasureThroughput)",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: opt.GoMaxProcs,
+		Config: map[string]any{
+			"users": opt.Users, "txnsPerUser": opt.TxnsPer,
+			"readFraction": opt.Read, "workers": opt.Workers,
+			"opsPerWorker": opt.Ops, "batch": opt.Batch,
+			"chains": opt.Chains, "rounds": opt.Rounds, "seed": opt.Seed,
+			"churnKeysPerWorker": opt.ChurnKeys,
+		},
+		Results:  results,
+		Summary:  sum,
+		BestRate: best,
+	}, nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunSmoke drives a tiny interleaved measurement and checks the
+// report's structure: every discipline measured in both modes, rounds
+// recorded, best rounds populated, ratios computed.
+func TestRunSmoke(t *testing.T) {
+	opt := defaults()
+	opt.Rounds = 2
+	opt.GoMaxProcs = 2
+	opt.Workers = 2
+	opt.Ops = 2000
+	opt.Users = 60
+	opt.TxnsPer = 2
+	opt.Batch = 16
+
+	rep, err := run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2*len(disciplinesUnder) {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[r.Discipline+"/"+r.Mode] = true
+		if len(r.Rounds) != opt.Rounds {
+			t.Fatalf("%s/%s: %d rounds", r.Discipline, r.Mode, len(r.Rounds))
+		}
+		if r.Best.LookupsPerSec <= 0 || r.Best.NsPerOp <= 0 {
+			t.Fatalf("%s/%s: empty best round %+v", r.Discipline, r.Mode, r.Best)
+		}
+		if r.Best.MeanExamined < 1 {
+			t.Fatalf("%s/%s: implausible examinations %+v", r.Discipline, r.Mode, r.Best)
+		}
+	}
+	for _, d := range disciplinesUnder {
+		if !seen[d+"/perpacket"] || !seen[d+"/batch16"] {
+			t.Fatalf("missing modes for %s: %v", d, seen)
+		}
+	}
+	if rep.Summary.RcuOverLocked <= 0 || rep.Summary.RcuOverSharded <= 0 {
+		t.Fatalf("ratios not computed: %+v", rep.Summary)
+	}
+	if len(rep.BestRate) != len(disciplinesUnder) {
+		t.Fatalf("best rates: %+v", rep.BestRate)
+	}
+
+	// The report must round-trip as JSON (the artifact format).
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Summary != rep.Summary {
+		t.Fatalf("summary did not round-trip: %+v vs %+v", back.Summary, rep.Summary)
+	}
+}

@@ -6,9 +6,14 @@
 //
 // Usage:
 //
-//	demuxsim [-workload tpca|trains|polling] [-algos bsd,mtf,sr,sequent]
-//	         [-n users] [-r response] [-d rtt] [-chains n] [-txns perUser]
-//	         [-seed n]
+//	demuxsim [-workload tpca|trains|polling|churn|parallel]
+//	         [-algos bsd,mtf,sr,sequent] [-n users] [-r response] [-d rtt]
+//	         [-chains n] [-txns perUser] [-seed n]
+//
+// The parallel workload replays a recorded TPC/A inbound stream through
+// the concurrent locking disciplines (-algos then names disciplines, e.g.
+// locked-sequent,sharded-sequent,rcu-sequent) with -workers goroutines,
+// optionally in -batch sized lookup trains.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -23,6 +29,7 @@ import (
 	"tcpdemux/internal/churn"
 	"tcpdemux/internal/core"
 	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/parallel"
 	"tcpdemux/internal/rng"
 	"tcpdemux/internal/tpca"
 	"tcpdemux/internal/trace"
@@ -41,6 +48,9 @@ func main() {
 		txns     = flag.Int("txns", 25, "measured transactions per user")
 		seed     = flag.Uint64("seed", 42, "simulation RNG seed")
 		think    = flag.String("think", "tpca", "think-time law: tpca (truncated exp), exp, const, uniform, or mix (80% 10s exp + 20% 4s exp)")
+		workers  = flag.Int("workers", 4, "parallel workload: concurrent worker goroutines")
+		ops      = flag.Int("ops", 100_000, "parallel workload: operations per worker")
+		batch    = flag.Int("batch", 0, "parallel workload: lookup train length (0 = per-packet)")
 		hash     = flag.String("hash", "multiplicative", "hash function for hashed algorithms (crc32, multiplicative, pearson, add-fold, xor-fold, ports-only)")
 		record   = flag.String("record", "", "record the packet event stream to this trace file (tpca/polling only)")
 		replay   = flag.String("replay", "", "replay a recorded trace file through the algorithms instead of simulating")
@@ -50,16 +60,86 @@ func main() {
 		fmt.Println(strings.Join(core.Algorithms(), "\n"))
 		return
 	}
+	algoList := strings.Split(*algos, ",")
+	if *workload == "parallel" && !flagWasSet("algos") {
+		algoList = parallel.Disciplines()
+	}
 	var err error
 	if *replay != "" {
-		err = runReplay(os.Stdout, *replay, strings.Split(*algos, ","), *chains, *hash)
+		err = runReplay(os.Stdout, *replay, algoList, *chains, *hash)
+	} else if *workload == "parallel" {
+		err = runParallel(os.Stdout, algoList, *users, *txns, *chains, *seed, *workers, *ops, *batch, *hash)
 	} else {
-		err = run(os.Stdout, *workload, strings.Split(*algos, ","), *users, *resp, *rtt, *chains, *txns, *seed, *record, *hash, *think)
+		err = run(os.Stdout, *workload, algoList, *users, *resp, *rtt, *chains, *txns, *seed, *record, *hash, *think)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "demuxsim:", err)
 		os.Exit(1)
 	}
+}
+
+// flagWasSet reports whether the named flag was given on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runParallel replays a recorded TPC/A inbound stream through each named
+// concurrent locking discipline and prints the measured rates — the
+// command-line face of the BenchmarkParallel/benchjson comparison.
+func runParallel(out io.Writer, names []string, users, txns, chains int, seed uint64, workers, ops, batch int, hashName string) error {
+	hashFn, err := hashfn.ByName(hashName)
+	if err != nil {
+		return err
+	}
+	stream, err := parallel.TPCAStream(users, txns, seed)
+	if err != nil {
+		return err
+	}
+	churnKeys := make([][]core.Key, workers)
+	for w := range churnKeys {
+		base := users + 100 + w*32
+		for i := 0; i < 32; i++ {
+			churnKeys[w] = append(churnKeys[w], tpca.UserKey(base+i))
+		}
+	}
+	mode := "perpacket"
+	if batch > 1 {
+		mode = fmt.Sprintf("batch%d", batch)
+	}
+	fmt.Fprintf(out, "workload=parallel users=%d stream=%d ops workers=%d mode=%s read=0.99 chains=%d GOMAXPROCS=%d\n\n",
+		users, len(stream), workers, mode, chains, runtime.GOMAXPROCS(0))
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintln(w, "discipline\tns/op\tlookups/sec\tPCBs/pkt\thit-rate")
+	for _, name := range names {
+		d, err := parallel.New(strings.TrimSpace(name), core.Config{Chains: chains, Hash: hashFn})
+		if err != nil {
+			return err
+		}
+		for u := 0; u < users; u++ {
+			if err := d.Insert(core.NewPCB(tpca.UserKey(u))); err != nil {
+				return err
+			}
+		}
+		res, err := parallel.MeasureThroughput(d, parallel.ThroughputConfig{
+			Workers: workers, OpsPerWorker: ops, Stream: stream,
+			ReadFraction: 0.99, ChurnKeys: churnKeys, Batch: batch, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.0f\t%.2f\t%.2f%%\n",
+			d.Name(), res.NsPerOp,
+			float64(res.Stats.Lookups)/res.Elapsed.Seconds(),
+			res.Stats.MeanExamined(), res.Stats.HitRate()*100)
+	}
+	return nil
 }
 
 // runReplay feeds a recorded trace through each named algorithm.

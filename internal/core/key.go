@@ -108,8 +108,15 @@ func Match(pcbKey, packet Key) int {
 	return score
 }
 
-// exactScore is the Match score of a fully specified connection key.
-const exactScore = 3
+// ExactScore is the Match score of a fully specified connection key: all
+// three optional components (local address, remote address, remote port)
+// present and equal. External demultiplexers built on Match — the rcu
+// package's lock-free table, for one — compare against it to distinguish
+// an exact connection match from the best wildcard listener.
+const ExactScore = 3
+
+// exactScore is the internal alias predating the export.
+const exactScore = ExactScore
 
 // Direction classifies an inbound packet for demultiplexers whose probe
 // order depends on it (the SR cache examines the receive-side cache first

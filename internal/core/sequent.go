@@ -208,3 +208,27 @@ func (d *SequentHash) Walk(fn func(*PCB) bool) {
 	}
 	d.listen.walk(fn)
 }
+
+// WalkChain is the read-only chain-walk hook: it calls fn for every PCB on
+// chain i (front = most recently inserted, or most recently used under
+// MTF) until fn returns false, without touching caches or statistics.
+// Concurrent and alternative demultiplexers that must place PCBs on the
+// same chains this table would (the rcu package's lock-free variant, the
+// parallel package's sharded variant) use it to cross-check placement
+// chain by chain. The PCB set must not be mutated during the walk.
+func (d *SequentHash) WalkChain(i int, fn func(*PCB) bool) {
+	if i < 0 || i >= len(d.chains) {
+		return
+	}
+	d.chains[i].pcbs.walk(fn)
+}
+
+// WalkListeners is the companion hook for the listen list (front = most
+// recently registered).
+func (d *SequentHash) WalkListeners(fn func(*PCB) bool) {
+	d.listen.walk(fn)
+}
+
+// ChainIndexOf exposes the chain placement of an exact key under this
+// table's hash and chain count, for external cross-checks.
+func (d *SequentHash) ChainIndexOf(k Key) int { return d.chainFor(k) }

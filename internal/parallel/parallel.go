@@ -4,37 +4,78 @@
 // second virtue — after shorter scans — is that each chain can carry its
 // own lock, so packets for different chains demultiplex concurrently.
 //
-// Two wrappers are provided:
+// Three locking disciplines are provided, in increasing read-path
+// concurrency:
 //
 //   - Locked: any core.Demuxer behind one mutex — the global-lock
 //     discipline a single linear list forces, since every lookup walks the
 //     same structure.
 //   - ShardedSequent: the Sequent design with one lock per hash chain plus
 //     a listener lock; lookups for different chains never contend.
+//   - rcu.Demuxer (package tcpdemux/internal/rcu): the read-mostly end
+//     state — lookups take no locks at all, chains are published
+//     copy-on-write through atomic pointers, and only writers serialize.
 //
-// Both satisfy ConcurrentDemuxer. The throughput benches in bench_test.go
-// (BenchmarkParallel) quantify the contention gap under goroutine load.
+// All three satisfy ConcurrentDemuxer; New builds any of them by name. The
+// throughput benches in bench_test.go (BenchmarkParallel) and the
+// MeasureThroughput harness quantify the contention gap under goroutine
+// load.
+//
+// # Statistics-snapshot contract
+//
+// Unlike core.Demuxer, whose Stats pointer is live, a ConcurrentDemuxer
+// returns statistics by value: Snapshot folds whatever per-chain or
+// per-stripe counters the discipline maintains into one core.Stats at the
+// moment of the call. A snapshot taken while lookups are in flight is a
+// consistent total — every completed lookup is counted exactly once — but
+// two counters read nanoseconds apart may straddle an update; callers must
+// not expect cross-field identities (Hits+Misses == Lookups, say) to hold
+// exactly until the demuxer is quiescent. Snapshots are monotonic: a later
+// quiescent snapshot includes everything an earlier one did.
+//
+// Walk has the same snapshot flavor: it observes a PCB set that was
+// current at some instant per chain, never a torn chain, but concurrent
+// inserts and removes may or may not be visible.
 package parallel
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"tcpdemux/internal/core"
 	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/rcu"
 )
 
 // ConcurrentDemuxer is the goroutine-safe variant of core.Demuxer. Stats
-// are returned by value (a snapshot) rather than by live pointer.
+// are returned by value (a snapshot) rather than by live pointer; see the
+// package comment for the snapshot contract.
 type ConcurrentDemuxer interface {
 	Name() string
 	Insert(p *core.PCB) error
 	Remove(k core.Key) bool
 	Lookup(k core.Key, dir core.Direction) core.Result
+
+	// LookupBatch resolves a train of keys in one call, writing one
+	// Result per key (in key order) into out, which is reused when it has
+	// capacity. The Result sequence and statistics are identical to
+	// calling Lookup per key in order; disciplines are free to amortize
+	// locking or pointer-chasing across the train.
+	LookupBatch(keys []core.Key, dir core.Direction, out []core.Result) []core.Result
+
 	NotifySend(p *core.PCB)
 	Len() int
 	Snapshot() core.Stats
+
+	// Walk calls fn for every inserted PCB (listeners included) until fn
+	// returns false, with per-chain snapshot semantics: fn never sees a
+	// torn chain, but mutations concurrent with the walk may or may not
+	// be visible. fn must not call back into the demuxer (lock-based
+	// disciplines hold their chain lock across the callback).
+	Walk(fn func(*core.PCB) bool)
 }
 
 // Locked wraps a plain demuxer with a single mutex.
@@ -90,6 +131,28 @@ func (l *Locked) Snapshot() core.Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return *l.d.Stats()
+}
+
+// LookupBatch implements ConcurrentDemuxer: the whole train is resolved
+// under one lock acquisition — the only amortization a global lock offers.
+func (l *Locked) LookupBatch(keys []core.Key, dir core.Direction, out []core.Result) []core.Result {
+	if cap(out) < len(keys) {
+		out = make([]core.Result, len(keys))
+	}
+	out = out[:len(keys)]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, k := range keys {
+		out[i] = l.d.Lookup(k, dir)
+	}
+	return out
+}
+
+// Walk implements ConcurrentDemuxer, delegating under the global lock.
+func (l *Locked) Walk(fn func(*core.PCB) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.d.Walk(fn)
 }
 
 // ShardedSequent is the Sequent hashed demultiplexer with per-chain
@@ -271,6 +334,45 @@ func (s *shard) record(r core.Result) {
 	}
 }
 
+// LookupBatch implements ConcurrentDemuxer. Each key takes its own
+// chain lock: per-chain locking already confines contention, and grouping
+// a train by chain would buy only lock-coalescing the rcu discipline gets
+// for free — the head-to-head benches keep that contrast visible.
+func (d *ShardedSequent) LookupBatch(keys []core.Key, dir core.Direction, out []core.Result) []core.Result {
+	if cap(out) < len(keys) {
+		out = make([]core.Result, len(keys))
+	}
+	out = out[:len(keys)]
+	for i, k := range keys {
+		out[i] = d.Lookup(k, dir)
+	}
+	return out
+}
+
+// Walk implements ConcurrentDemuxer: chains in index order, each under its
+// own lock (per-chain snapshot semantics), then the listeners. fn must not
+// call back into the demuxer.
+func (d *ShardedSequent) Walk(fn func(*core.PCB) bool) {
+	for i := range d.chains {
+		s := &d.chains[i]
+		s.mu.Lock()
+		for _, p := range s.pcbs {
+			if !fn(p) {
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.mu.Unlock()
+	}
+	d.listenMu.Lock()
+	defer d.listenMu.Unlock()
+	for _, l := range d.listen {
+		if !fn(l) {
+			return
+		}
+	}
+}
+
 // NotifySend implements ConcurrentDemuxer; Sequent ignores transmissions.
 func (d *ShardedSequent) NotifySend(*core.PCB) {}
 
@@ -306,4 +408,37 @@ func (d *ShardedSequent) Snapshot() core.Stats {
 	st.Misses = d.misses.Load()
 	st.WildcardHits = d.wildcardHits.Load()
 	return st
+}
+
+// disciplines maps locking-discipline names to constructors, mirroring
+// core's algorithm registry so the command-line tools can build any of
+// the three head-to-head variants by name.
+var disciplines = map[string]func(core.Config) ConcurrentDemuxer{
+	"locked-bsd":     func(core.Config) ConcurrentDemuxer { return NewLocked(core.NewBSDList()) },
+	"locked-sequent": func(c core.Config) ConcurrentDemuxer { return NewLocked(core.NewSequentHash(c.Chains, c.Hash)) },
+	"sharded-sequent": func(c core.Config) ConcurrentDemuxer {
+		return NewShardedSequent(c.Chains, c.Hash)
+	},
+	"rcu-sequent": func(c core.Config) ConcurrentDemuxer { return rcu.New(c.Chains, c.Hash) },
+}
+
+// New constructs a concurrent demuxer by locking-discipline name. Valid
+// names are listed by Disciplines.
+func New(name string, cfg core.Config) (ConcurrentDemuxer, error) {
+	b, ok := disciplines[name]
+	if !ok {
+		return nil, fmt.Errorf("parallel: unknown discipline %q (have %s)",
+			name, strings.Join(Disciplines(), ", "))
+	}
+	return b(cfg), nil
+}
+
+// Disciplines returns the registered discipline names, sorted.
+func Disciplines() []string {
+	names := make([]string, 0, len(disciplines))
+	for n := range disciplines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -2,21 +2,24 @@ package parallel
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
 	"tcpdemux/internal/core"
+	"tcpdemux/internal/rcu"
 	"tcpdemux/internal/rng"
 	"tcpdemux/internal/tpca"
 )
 
-// both returns one instance of each concurrent wrapper for conformance
-// runs.
+// both returns one instance of each locking discipline for conformance
+// runs: global lock, per-chain locks, and the lock-free-read RCU table.
 func both() []ConcurrentDemuxer {
 	return []ConcurrentDemuxer{
 		NewLocked(core.NewBSDList()),
 		NewLocked(core.NewSequentHash(19, nil)),
 		NewShardedSequent(19, nil),
+		rcu.New(19, nil),
 	}
 }
 
@@ -159,6 +162,123 @@ func TestParallelStress(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWalkSnapshot checks the Walk half of the Demuxer/ConcurrentDemuxer
+// symmetry fix: every discipline must enumerate exactly the inserted PCB
+// set (listeners included) and honor early termination.
+func TestWalkSnapshot(t *testing.T) {
+	const n = 120
+	for _, d := range both() {
+		t.Run(d.Name(), func(t *testing.T) {
+			want := make(map[*core.PCB]bool, n+1)
+			listener := core.NewListenPCB(core.ListenKey(tpca.ServerAddr.Addr, tpca.ServerAddr.Port))
+			if err := d.Insert(listener); err != nil {
+				t.Fatal(err)
+			}
+			want[listener] = true
+			for i := 0; i < n; i++ {
+				p := core.NewPCB(tpca.UserKey(i))
+				if err := d.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+				want[p] = true
+			}
+			got := make(map[*core.PCB]bool, n+1)
+			d.Walk(func(p *core.PCB) bool {
+				if got[p] {
+					t.Fatalf("walk visited %v twice", p.Key)
+				}
+				got[p] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("walk saw %d PCBs, want %d", len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("walk missed %v", p.Key)
+				}
+			}
+			seen := 0
+			d.Walk(func(*core.PCB) bool { seen++; return seen < 5 })
+			if seen != 5 {
+				t.Fatalf("early termination walked %d PCBs", seen)
+			}
+		})
+	}
+}
+
+// TestDisciplineRegistry exercises the name-based constructor the
+// command-line tools use.
+func TestDisciplineRegistry(t *testing.T) {
+	names := Disciplines()
+	if !sort.StringsAreSorted(names) || len(names) < 4 {
+		t.Fatalf("disciplines: %v", names)
+	}
+	for _, name := range names {
+		d, err := New(name, core.Config{Chains: 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Insert(core.NewPCB(tpca.UserKey(1))); err != nil {
+			t.Fatal(err)
+		}
+		if r := d.Lookup(tpca.UserKey(1), core.DirData); r.PCB == nil {
+			t.Fatalf("%s: lookup failed", name)
+		}
+	}
+	if _, err := New("nonesuch", core.Config{}); err == nil {
+		t.Fatal("unknown discipline accepted")
+	}
+}
+
+// TestMeasureThroughput smoke-tests the shared throughput harness on every
+// discipline, batched and not, with a sliver of churn.
+func TestMeasureThroughput(t *testing.T) {
+	stream, err := TPCAStream(60, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) == 0 {
+		t.Fatal("empty stream")
+	}
+	const workers = 4
+	churn := make([][]core.Key, workers)
+	for w := range churn {
+		for i := 0; i < 8; i++ {
+			churn[w] = append(churn[w], tpca.UserKey(1000+w*8+i))
+		}
+	}
+	for _, name := range Disciplines() {
+		for _, batch := range []int{0, 16} {
+			d, err := New(name, core.Config{Chains: 19})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 60; i++ {
+				if err := d.Insert(core.NewPCB(tpca.UserKey(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := MeasureThroughput(d, ThroughputConfig{
+				Workers: workers, OpsPerWorker: 2000, Stream: stream,
+				ReadFraction: 0.95, ChurnKeys: churn, Batch: batch, Seed: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != workers*2000 || res.OpsPerSec <= 0 {
+				t.Fatalf("%s batch=%d: implausible result %+v", name, batch, res)
+			}
+			if res.Stats.Lookups == 0 || res.Stats.Lookups > uint64(res.Ops) {
+				t.Fatalf("%s batch=%d: implausible stats %+v", name, batch, res.Stats)
+			}
+		}
+	}
+	if _, err := MeasureThroughput(NewShardedSequent(19, nil), ThroughputConfig{}); err == nil {
+		t.Fatal("invalid config accepted")
 	}
 }
 

@@ -1,0 +1,183 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/tpca"
+)
+
+// Op is one inbound packet event of a recorded lookup stream: the key the
+// server demultiplexes on and whether the packet was a transaction (data)
+// or a pure acknowledgement.
+type Op struct {
+	Key core.Key
+	Dir core.Direction
+}
+
+// TPCAStream records the server-side inbound packet stream of one TPC/A
+// simulation run — the realistic read-mostly key sequence the paper's
+// workload produces, response-interval locality included — for replay by
+// MeasureThroughput. users and txnsPerUser size the run; the stream holds
+// two inbound packets (transaction, ack) per transaction, warm-up
+// included.
+func TPCAStream(users, txnsPerUser int, seed uint64) ([]Op, error) {
+	var stream []Op
+	cfg := tpca.Config{
+		Users: users, ResponseTime: 0.2, RTT: 0.001, Seed: seed,
+		MeasuredTxns: txnsPerUser * users,
+		Observer: func(_ float64, key core.Key, send, ack bool) {
+			if send {
+				return // outbound: not a demultiplexing event
+			}
+			dir := core.DirData
+			if ack {
+				dir = core.DirAck
+			}
+			stream = append(stream, Op{Key: key, Dir: dir})
+		},
+	}
+	if _, err := tpca.Run(core.NewMapDemux(), cfg); err != nil {
+		return nil, err
+	}
+	return stream, nil
+}
+
+// ThroughputConfig parameterizes one MeasureThroughput run.
+type ThroughputConfig struct {
+	// Workers is the number of concurrent goroutines (>= 1).
+	Workers int
+	// OpsPerWorker is the number of operations each worker performs.
+	OpsPerWorker int
+	// Stream is the lookup key sequence. Workers replay it from evenly
+	// spaced starting offsets, wrapping around.
+	Stream []Op
+	// ReadFraction is the probability an operation is a lookup; the
+	// remainder churn (remove + reinsert) keys from the worker's private
+	// ChurnKeys slice. 0 means 1.0 (pure lookups).
+	ReadFraction float64
+	// ChurnKeys[w] are worker w's private churn keys. Required when
+	// ReadFraction < 1; keeping the slices disjoint keeps the final PCB
+	// set deterministic.
+	ChurnKeys [][]core.Key
+	// Batch > 1 drives lookups through LookupBatch in trains of this
+	// size (a churn operation flushes the pending train first).
+	Batch int
+	// Seed seeds the per-worker operation-mix RNGs.
+	Seed uint64
+}
+
+func (c ThroughputConfig) validate() error {
+	switch {
+	case c.Workers < 1:
+		return errors.New("parallel: need at least one worker")
+	case c.OpsPerWorker < 1:
+		return errors.New("parallel: need at least one op per worker")
+	case len(c.Stream) == 0:
+		return errors.New("parallel: empty lookup stream")
+	case c.ReadFraction < 0 || c.ReadFraction > 1:
+		return fmt.Errorf("parallel: read fraction %v out of range", c.ReadFraction)
+	case c.ReadFraction != 0 && c.ReadFraction < 1 && len(c.ChurnKeys) < c.Workers:
+		return errors.New("parallel: churn requires per-worker churn keys")
+	}
+	return nil
+}
+
+// ThroughputResult reports one measured run.
+type ThroughputResult struct {
+	// Ops is the total operations completed (lookups + churn mutations).
+	Ops int
+	// Elapsed is the wall-clock time of the measured section.
+	Elapsed time.Duration
+	// NsPerOp and OpsPerSec are the derived rates.
+	NsPerOp   float64
+	OpsPerSec float64
+	// Stats is the demuxer's statistics snapshot after the run.
+	Stats core.Stats
+}
+
+// MeasureThroughput drives d with cfg.Workers goroutines replaying the
+// recorded stream and returns the aggregate operation rate. The demuxer
+// must already be populated with the stream's PCBs; lookups that miss are
+// fine (they exercise the listener path) but are still counted as one op.
+func MeasureThroughput(d ConcurrentDemuxer, cfg ThroughputConfig) (ThroughputResult, error) {
+	if err := cfg.validate(); err != nil {
+		return ThroughputResult{}, err
+	}
+	read := cfg.ReadFraction
+	if read == 0 {
+		read = 1
+	}
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(cfg.Seed + uint64(w)*7919 + 1)
+			pos := (w * len(cfg.Stream)) / cfg.Workers
+			var churn []core.Key
+			if read < 1 {
+				churn = cfg.ChurnKeys[w]
+			}
+			var (
+				keys    []core.Key
+				dir     core.Direction
+				results []core.Result
+			)
+			flush := func() {
+				if len(keys) > 0 {
+					results = d.LookupBatch(keys, dir, results)
+					keys = keys[:0]
+				}
+			}
+			<-start
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				if read < 1 && src.Float64() >= read {
+					flush()
+					k := churn[src.Intn(len(churn))]
+					if !d.Remove(k) {
+						_ = d.Insert(core.NewPCB(k))
+					}
+					continue
+				}
+				op := cfg.Stream[pos]
+				pos++
+				if pos == len(cfg.Stream) {
+					pos = 0
+				}
+				if cfg.Batch > 1 {
+					dir = op.Dir
+					keys = append(keys, op.Key)
+					if len(keys) >= cfg.Batch {
+						flush()
+					}
+				} else {
+					d.Lookup(op.Key, op.Dir)
+				}
+			}
+			flush()
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	ops := cfg.Workers * cfg.OpsPerWorker
+	res := ThroughputResult{
+		Ops:     ops,
+		Elapsed: elapsed,
+		Stats:   d.Snapshot(),
+	}
+	if elapsed > 0 {
+		res.NsPerOp = float64(elapsed.Nanoseconds()) / float64(ops)
+		res.OpsPerSec = float64(ops) / elapsed.Seconds()
+	}
+	return res, nil
+}

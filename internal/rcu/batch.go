@@ -1,0 +1,184 @@
+package rcu
+
+import (
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/hashfn"
+)
+
+// batchScratch is the reusable grouping state for LookupBatch: an intrusive
+// linked list of batch positions per chain. headOf/tailOf are sized to the
+// chain count and reset lazily (only touched chains are cleaned), so a
+// batch costs O(len(keys) + touched chains), not O(H).
+type batchScratch struct {
+	next    []int32  // next[i] = following batch position on i's chain
+	hash    []uint32 // hash[i] = full hash of keys[i], reused as fingerprint
+	headOf  []int32  // first batch position per chain, -1 when empty
+	tailOf  []int32
+	touched []int32 // chains with at least one key, in first-hit order
+}
+
+// scratchFor fetches (or builds) a scratch sized for this demuxer and n
+// keys.
+func (d *Demuxer) scratchFor(n int) *batchScratch {
+	s, _ := d.scratch.Get().(*batchScratch)
+	if s == nil {
+		s = &batchScratch{
+			headOf: make([]int32, len(d.chains)),
+			tailOf: make([]int32, len(d.chains)),
+		}
+		for i := range s.headOf {
+			s.headOf[i] = -1
+		}
+	}
+	if cap(s.next) < n {
+		s.next = make([]int32, n)
+		s.hash = make([]uint32, n)
+	}
+	s.next = s.next[:n]
+	s.hash = s.hash[:n]
+	s.touched = s.touched[:0]
+	return s
+}
+
+// release cleans the touched chains and returns the scratch to the pool.
+func (d *Demuxer) release(s *batchScratch) {
+	for _, c := range s.touched {
+		s.headOf[c] = -1
+	}
+	d.scratch.Put(s)
+}
+
+// LookupBatch demultiplexes a train of inbound keys in one call, returning
+// one Result per key in key order. The sequence of Results — PCB, Examined,
+// CacheHit, Wildcard, and the statistics they fold into — is identical to
+// calling Lookup once per key in order; the conformance tests assert this
+// byte for byte.
+//
+// What batching buys is amortization across the train the paper's
+// packet-train analysis ([JR86], internal/trains) assumes arrives clumped:
+// keys are grouped by hash chain, so each touched chain's entry slice,
+// cache word and removal epoch are loaded once, the slice is L1-warm for
+// every key of the train that hashes there, the final cache state is
+// published with one atomic store instead of one per found packet, and
+// the whole batch's statistics fold into a stripe with one set of atomic
+// adds instead of one per packet.
+//
+// out is reused when it has capacity; the returned slice has len(keys)
+// results. Like Lookup, the call takes no locks.
+func (d *Demuxer) LookupBatch(keys []core.Key, dir core.Direction, out []core.Result) []core.Result {
+	if cap(out) < len(keys) {
+		out = make([]core.Result, len(keys))
+	}
+	out = out[:len(keys)]
+	if len(keys) == 0 {
+		return out
+	}
+	s := d.scratchFor(len(keys))
+	defer d.release(s)
+
+	// Pass 1: group batch positions by chain, preserving arrival order
+	// within each chain (cache evolution is order-sensitive). The full
+	// hash is kept for the resolution pass's fingerprint compares.
+	for i, k := range keys {
+		h := d.hashOf(k)
+		s.hash[i] = h
+		c := int32(hashfn.ChainIndex(h, len(d.chains)))
+		s.next[i] = -1
+		if s.headOf[c] < 0 {
+			s.headOf[c] = int32(i)
+			s.touched = append(s.touched, c)
+		} else {
+			s.next[s.tailOf[c]] = int32(i)
+		}
+		s.tailOf[c] = int32(i)
+	}
+
+	// Pass 2: resolve chain by chain. Listener state is loaded lazily on
+	// the first exact-match miss and shared across the batch.
+	var batchStats core.Stats
+	var listeners []entry
+	listenersLoaded := false
+	for _, ci := range s.touched {
+		c := &d.chains[ci]
+		cache := c.cache.Load()
+		epoch := c.epoch.Load()
+		es := load(&c.pcbs)
+
+		// Resolve this chain's train keys in arrival order. The first
+		// key's scan pulls the chain's entry slice — ~24 bytes per
+		// connection, contiguous — into L1; the rest of the train's scans
+		// run out of cache, which is the locality the grouping exists to
+		// create.
+		dirty := false
+		for i := s.headOf[ci]; i >= 0; i = s.next[i] {
+			k := keys[i]
+			h := s.hash[i]
+			var r core.Result
+			if cache != nil {
+				r.Examined++
+				if cache.Key == k {
+					r.PCB = cache
+					r.CacheHit = true
+					accumulate(&batchStats, r)
+					out[i] = r
+					continue
+				}
+			}
+			for j := range es {
+				r.Examined++
+				if es[j].hash == h && es[j].key == k {
+					r.PCB = es[j].pcb
+					cache = es[j].pcb
+					dirty = true
+					break
+				}
+			}
+			if r.PCB == nil {
+				if !listenersLoaded {
+					listeners = load(&d.listen)
+					listenersLoaded = true
+				}
+				best := -1
+				for j := range listeners {
+					r.Examined++
+					if score := core.Match(listeners[j].key, k); score > best {
+						best = score
+						r.PCB = listeners[j].pcb
+					}
+				}
+				r.Wildcard = r.PCB != nil
+			}
+			accumulate(&batchStats, r)
+			out[i] = r
+		}
+		if dirty {
+			// Publish the chain's final cache state once per train, with
+			// the same removal-epoch retraction as the per-packet path.
+			c.cache.Store(cache)
+			if c.epoch.Load() != epoch {
+				c.cache.CompareAndSwap(cache, nil)
+			}
+		}
+	}
+	d.stats.recordBatch(batchStats)
+	return out
+}
+
+// accumulate folds one result into the batch-local statistics with the
+// classification rules of core.Stats.
+func accumulate(st *core.Stats, r core.Result) {
+	st.Lookups++
+	st.Examined += uint64(r.Examined)
+	if r.Examined > st.MaxExamined {
+		st.MaxExamined = r.Examined
+	}
+	switch {
+	case r.PCB == nil:
+		st.Misses++
+	case r.CacheHit:
+		st.Hits++
+	}
+	if r.PCB != nil && r.Wildcard {
+		st.WildcardHits++
+	}
+}

@@ -1,0 +1,276 @@
+package rcu_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/rcu"
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/tpca"
+)
+
+// TestConformance mirrors the parallel package's conformance run: basic
+// insert/lookup/remove/duplicate/stats semantics, single-threaded.
+func TestConformance(t *testing.T) {
+	const n = 300
+	d := rcu.New(19, nil)
+	pcbs := make([]*core.PCB, n)
+	for i := range pcbs {
+		pcbs[i] = core.NewPCB(tpca.UserKey(i))
+		if err := d.Insert(pcbs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Insert(core.NewPCB(tpca.UserKey(0))); err != core.ErrDuplicateKey {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i, p := range pcbs {
+		if r := d.Lookup(p.Key, core.DirData); r.PCB != p {
+			t.Fatalf("lookup %d failed", i)
+		}
+	}
+	if !d.Remove(pcbs[0].Key) || d.Remove(pcbs[0].Key) {
+		t.Fatal("remove semantics wrong")
+	}
+	if r := d.Lookup(pcbs[0].Key, core.DirData); r.PCB != nil {
+		t.Fatal("removed PCB still found")
+	}
+	st := d.Snapshot()
+	if st.Lookups != n+1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestWildcardFallback checks the listener path: registration, duplicate
+// detection, best-match fallback, removal.
+func TestWildcardFallback(t *testing.T) {
+	d := rcu.New(19, nil)
+	listener := core.NewListenPCB(core.ListenKey(tpca.ServerAddr.Addr, tpca.ServerAddr.Port))
+	if err := d.Insert(listener); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(core.NewListenPCB(listener.Key)); err != core.ErrDuplicateKey {
+		t.Fatalf("duplicate listener: %v", err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	r := d.Lookup(tpca.UserKey(5), core.DirData)
+	if r.PCB != listener || !r.Wildcard {
+		t.Fatalf("listener fallback failed: %+v", r)
+	}
+	if st := d.Snapshot(); st.WildcardHits != 1 {
+		t.Fatalf("wildcard stats: %+v", st)
+	}
+	if !d.Remove(listener.Key) || d.Remove(listener.Key) {
+		t.Fatal("listener remove semantics wrong")
+	}
+}
+
+// TestMatchesSequentCosts drives identical single-threaded sequences
+// through core.SequentHash and the RCU table and asserts identical
+// examination accounting — same algorithm, different synchronization.
+func TestMatchesSequentCosts(t *testing.T) {
+	const n = 500
+	plain := core.NewSequentHash(19, nil)
+	free := rcu.New(19, nil)
+	for i := 0; i < n; i++ {
+		p := core.NewPCB(tpca.UserKey(i))
+		if err := plain.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := free.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := rng.New(3)
+	for i := 0; i < 20000; i++ {
+		k := tpca.UserKey(src.Intn(n))
+		a := plain.Lookup(k, core.DirData)
+		b := free.Lookup(k, core.DirData)
+		if a != b {
+			t.Fatalf("lookup %d diverged: plain %+v vs rcu %+v", i, a, b)
+		}
+	}
+	ps, fs := plain.Stats(), free.Snapshot()
+	if *ps != fs {
+		t.Fatalf("aggregate stats diverged: %+v vs %+v", *ps, fs)
+	}
+}
+
+// TestChainPlacementMatchesSequent inserts the same PCBs into
+// core.SequentHash and the RCU table and compares chain by chain through
+// the read-only chain-walk hooks: same hash, same chain count, same
+// placement, same within-chain order.
+func TestChainPlacementMatchesSequent(t *testing.T) {
+	const n = 400
+	plain := core.NewSequentHash(19, nil)
+	free := rcu.New(19, nil)
+	for i := 0; i < n; i++ {
+		p := core.NewPCB(tpca.UserKey(i))
+		if err := plain.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := free.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if a, b := plain.ChainIndexOf(p.Key), free.ChainIndexOf(p.Key); a != b {
+			t.Fatalf("placement diverged for %v: %d vs %d", p.Key, a, b)
+		}
+	}
+	// A few removals to exercise the copy-on-write path.
+	src := rng.New(11)
+	for i := 0; i < 50; i++ {
+		k := tpca.UserKey(src.Intn(n))
+		if plain.Remove(k) != free.Remove(k) {
+			t.Fatalf("remove diverged for %v", k)
+		}
+	}
+	if plain.Len() != free.Len() {
+		t.Fatalf("Len diverged: %d vs %d", plain.Len(), free.Len())
+	}
+	for c := 0; c < plain.NumChains(); c++ {
+		var a, b []*core.PCB
+		plain.WalkChain(c, func(p *core.PCB) bool { a = append(a, p); return true })
+		free.WalkChain(c, func(p *core.PCB) bool { b = append(b, p); return true })
+		if len(a) != len(b) {
+			t.Fatalf("chain %d length diverged: %d vs %d", c, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("chain %d position %d diverged: %v vs %v", c, i, a[i].Key, b[i].Key)
+			}
+		}
+	}
+	// Walk order must match too (chains first, then listeners).
+	var a, b []*core.PCB
+	plain.Walk(func(p *core.PCB) bool { a = append(a, p); return true })
+	free.Walk(func(p *core.PCB) bool { b = append(b, p); return true })
+	if len(a) != len(b) {
+		t.Fatalf("walk lengths diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walk position %d diverged", i)
+		}
+	}
+}
+
+// TestRemovedPCBCannotStayCached is the regression test for the
+// cache-staleness hazard the per-chain removal epoch exists to close: once
+// Remove returns and all in-flight lookups have drained, no lookup may be
+// served the removed PCB from a one-entry cache, no matter how the
+// removal raced with readers that were about to publish it.
+func TestRemovedPCBCannotStayCached(t *testing.T) {
+	const rounds = 2000
+	d := rcu.New(7, nil)
+	// A crowd sharing chains so caches are actively exercised.
+	for i := 0; i < 100; i++ {
+		if err := d.Insert(core.NewPCB(tpca.UserKey(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := tpca.UserKey(100)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	readers := runtime.GOMAXPROCS(0) + 1
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			src := rng.New(seed)
+			for !stop.Load() {
+				d.Lookup(hot, core.DirData)
+				d.Lookup(tpca.UserKey(src.Intn(100)), core.DirData)
+			}
+		}(uint64(r) + 1)
+	}
+	for i := 0; i < rounds; i++ {
+		if err := d.Insert(core.NewPCB(hot)); err != nil {
+			t.Fatal(err)
+		}
+		d.Lookup(hot, core.DirData) // seed the cache with the victim
+		if !d.Remove(hot) {
+			t.Fatal("remove failed")
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	// Quiescent now: the hot key is removed and no lookups are in
+	// flight, so it must miss.
+	if r := d.Lookup(hot, core.DirData); r.PCB != nil {
+		t.Fatalf("removed PCB still served from cache: %+v", r)
+	}
+}
+
+// TestSequentialRemoveClearsCache is the single-threaded version: cache a
+// PCB, remove it, and the next lookup must walk to a miss.
+func TestSequentialRemoveClearsCache(t *testing.T) {
+	d := rcu.New(19, nil)
+	p := core.NewPCB(tpca.UserKey(1))
+	if err := d.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	if r := d.Lookup(p.Key, core.DirData); r.PCB != p {
+		t.Fatal("lookup failed")
+	}
+	if r := d.Lookup(p.Key, core.DirData); !r.CacheHit {
+		t.Fatal("second lookup should hit the chain cache")
+	}
+	if !d.Remove(p.Key) {
+		t.Fatal("remove failed")
+	}
+	if r := d.Lookup(p.Key, core.DirData); r.PCB != nil {
+		t.Fatalf("removed PCB still found: %+v", r)
+	}
+}
+
+// TestSnapshotDuringLoad folds stripes while lookups are in flight; totals
+// must be monotonic and exact once quiescent.
+func TestSnapshotDuringLoad(t *testing.T) {
+	const n = 200
+	d := rcu.New(19, nil)
+	for i := 0; i < n; i++ {
+		if err := d.Insert(core.NewPCB(tpca.UserKey(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0) * 2
+	const ops = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			src := rng.New(seed)
+			for i := 0; i < ops; i++ {
+				d.Lookup(tpca.UserKey(src.Intn(n)), core.DirData)
+			}
+		}(uint64(w) + 1)
+	}
+	var prev uint64
+	for i := 0; i < 50; i++ {
+		st := d.Snapshot()
+		if st.Lookups < prev {
+			t.Fatalf("snapshot went backwards: %d -> %d", prev, st.Lookups)
+		}
+		prev = st.Lookups
+	}
+	wg.Wait()
+	st := d.Snapshot()
+	if want := uint64(workers * ops); st.Lookups != want {
+		t.Fatalf("lookups = %d, want %d", st.Lookups, want)
+	}
+	if st.Misses != 0 {
+		t.Fatalf("unexpected misses: %+v", st)
+	}
+	if st.Hits+st.Misses > st.Lookups || st.Examined < st.Lookups {
+		t.Fatalf("implausible totals: %+v", st)
+	}
+}

@@ -1,0 +1,156 @@
+package rcu
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"tcpdemux/internal/core"
+)
+
+// stripeSlot is one padded bundle of statistics counters. The layout keeps
+// each slot on its own cache-line region (two 64-byte lines) so goroutines
+// folding statistics into different slots never bounce a line between
+// CPUs — the same false-sharing guard parallel.ShardedSequent applies to
+// its per-shard counters, here decoupled from the chains entirely.
+//
+// The two counters every lookup must bump — lookups and examined PCBs —
+// share one word (lookups in the top 24 bits, examined in the low 40) so
+// the fast path pays a single atomic add; drain moves the word into the
+// 64-bit spill counters long before either field can wrap. The remaining
+// counters are bumped only on their (rarer) paths.
+type stripeSlot struct {
+	packed        atomic.Uint64
+	spillLookups  atomic.Uint64
+	spillExamined atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	wildcardHits  atomic.Uint64
+	maxExamined   atomic.Int64
+
+	_ [72]byte
+}
+
+const (
+	packShift = 40            // lookups above this bit, examined below
+	packMask  = 1<<packShift - 1
+	// drainAt triggers a drain once the packed lookup count reaches 2^22,
+	// a factor 4 before the 24-bit field wraps and (at <= 2^18 mean
+	// examinations per lookup — a population far beyond any workload
+	// here) far before the examined field wraps.
+	drainAt = uint64(1) << 62
+)
+
+// add folds one batch of (lookups, examined) with a single atomic add.
+func (sl *stripeSlot) add(lookups, examined uint64) {
+	v := sl.packed.Add(lookups<<packShift + examined)
+	if v >= drainAt {
+		// Only the CAS winner transfers v; a racer's CAS fails harmlessly
+		// and the next add re-triggers. Between the threshold and a
+		// successful drain the field has 2^22 lookups of headroom.
+		if sl.packed.CompareAndSwap(v, 0) {
+			sl.spillLookups.Add(v >> packShift)
+			sl.spillExamined.Add(v & packMask)
+		}
+	}
+}
+
+// stripes is the striped statistics accumulator: a power-of-two array of
+// slots, one (ideally) per P. Totals are exact — every recorded lookup
+// lands in exactly one slot — only the spreading is heuristic.
+type stripes struct {
+	slots []stripeSlot
+	mask  uint32
+}
+
+// init sizes the stripe array to the next power of two covering
+// 4×GOMAXPROCS, bounding the collision probability of the per-goroutine
+// hash without making Snapshot fold an unbounded array.
+func (s *stripes) init() {
+	n := 1
+	for n < 4*runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	s.slots = make([]stripeSlot, n)
+	s.mask = uint32(n - 1)
+}
+
+// slot picks the stripe for the calling goroutine. Go offers no portable
+// P or goroutine identifier, so this hashes the address of a stack-local
+// marker: goroutines occupy distinct stacks, which spreads concurrent
+// recorders across slots and is stable for a goroutine between stack
+// moves. The uintptr is used only as hash input, never converted back to
+// a pointer. Correctness never depends on the spreading — any goroutine
+// may fold into any slot — only contention does.
+func (s *stripes) slot() *stripeSlot {
+	var marker byte
+	p := uintptr(unsafe.Pointer(&marker))
+	h := uint32((p >> 6) ^ (p >> 16))
+	return &s.slots[h&s.mask]
+}
+
+// record folds one lookup result into the calling goroutine's stripe with
+// the same classification rules as core.Stats.record.
+func (s *stripes) record(r core.Result) {
+	sl := s.slot()
+	sl.add(1, uint64(r.Examined))
+	switch {
+	case r.PCB == nil:
+		sl.misses.Add(1)
+	case r.CacheHit:
+		sl.hits.Add(1)
+	}
+	if r.PCB != nil && r.Wildcard {
+		sl.wildcardHits.Add(1)
+	}
+	sl.bumpMax(int64(r.Examined))
+}
+
+// recordBatch folds a pre-accumulated batch of lookups in one shot — the
+// batched lookup path counts locally and pays these atomic adds once per
+// train instead of once per packet.
+func (s *stripes) recordBatch(st core.Stats) {
+	if st.Lookups == 0 {
+		return
+	}
+	sl := s.slot()
+	sl.add(st.Lookups, st.Examined)
+	if st.Misses != 0 {
+		sl.misses.Add(st.Misses)
+	}
+	if st.Hits != 0 {
+		sl.hits.Add(st.Hits)
+	}
+	if st.WildcardHits != 0 {
+		sl.wildcardHits.Add(st.WildcardHits)
+	}
+	sl.bumpMax(int64(st.MaxExamined))
+}
+
+// bumpMax raises the slot's running maximum to at least v.
+func (sl *stripeSlot) bumpMax(v int64) {
+	for {
+		cur := sl.maxExamined.Load()
+		if v <= cur || sl.maxExamined.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// fold sums every stripe into one core.Stats snapshot.
+func (s *stripes) fold() core.Stats {
+	var st core.Stats
+	for i := range s.slots {
+		sl := &s.slots[i]
+		v := sl.packed.Load()
+		st.Lookups += sl.spillLookups.Load() + v>>packShift
+		st.Examined += sl.spillExamined.Load() + v&packMask
+		st.Hits += sl.hits.Load()
+		st.Misses += sl.misses.Load()
+		st.WildcardHits += sl.wildcardHits.Load()
+		if m := int(sl.maxExamined.Load()); m > st.MaxExamined {
+			st.MaxExamined = m
+		}
+	}
+	return st
+}
