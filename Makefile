@@ -14,13 +14,13 @@ vet:
 	$(GO) vet ./...
 
 # test is the tier-1 gate: vet, the full test suite, and the race
-# detector over the concurrent packages.
+# detector over the concurrent packages plus the timer-driven engine.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/parallel ./internal/rcu
+	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine
+	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -6,9 +6,14 @@
 //
 // Usage:
 //
-//	demuxsim [-workload tpca|trains|polling|churn|parallel]
+//	demuxsim [-workload tpca|trains|polling|churn|parallel|lossy]
 //	         [-algos bsd,mtf,sr,sequent] [-n users] [-r response] [-d rtt]
-//	         [-chains n] [-txns perUser] [-seed n]
+//	         [-chains n] [-txns perUser] [-seed n] [-drop p] [-dup p]
+//
+// The lossy workload runs full client/server TCP exchanges through the
+// engine's virtual-time lifecycle timers over a seeded drop/duplicate
+// wire (-drop, -dup), reporting retransmission and recovery behaviour
+// per demultiplexer.
 //
 // The parallel workload replays a recorded TPC/A inbound stream through
 // the concurrent locking disciplines (-algos then names disciplines, e.g.
@@ -28,6 +33,7 @@ import (
 	"tcpdemux/internal/analytic"
 	"tcpdemux/internal/churn"
 	"tcpdemux/internal/core"
+	"tcpdemux/internal/engine"
 	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/parallel"
 	"tcpdemux/internal/rng"
@@ -54,6 +60,8 @@ func main() {
 		hash     = flag.String("hash", "multiplicative", "hash function for hashed algorithms (crc32, multiplicative, pearson, add-fold, xor-fold, ports-only)")
 		record   = flag.String("record", "", "record the packet event stream to this trace file (tpca/polling only)")
 		replay   = flag.String("replay", "", "replay a recorded trace file through the algorithms instead of simulating")
+		drop     = flag.Float64("drop", 0.2, "lossy workload: frame drop probability")
+		dup      = flag.Float64("dup", 0.05, "lossy workload: frame duplication probability")
 	)
 	flag.Parse()
 	if *list {
@@ -69,6 +77,8 @@ func main() {
 		err = runReplay(os.Stdout, *replay, algoList, *chains, *hash)
 	} else if *workload == "parallel" {
 		err = runParallel(os.Stdout, algoList, *users, *txns, *chains, *seed, *workers, *ops, *batch, *hash)
+	} else if *workload == "lossy" {
+		err = runLossy(os.Stdout, algoList, *users, *txns, *chains, *seed, *drop, *dup, *hash)
 	} else {
 		err = run(os.Stdout, *workload, algoList, *users, *resp, *rtt, *chains, *txns, *seed, *record, *hash, *think)
 	}
@@ -174,6 +184,58 @@ func runReplay(out io.Writer, path string, algos []string, chains int, hashName 
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.2f%%\n",
 			d.Name(), res.Connections, res.Arrivals, res.MeanExamined,
 			res.Stats.HitRate()*100)
+	}
+	return nil
+}
+
+// runLossy drives full TCP exchanges (handshake, stop-and-wait
+// transactions, close) through each algorithm's stack over a seeded
+// drop/duplicate wire, with retransmission and connection lifecycle run
+// entirely by the virtual-time timer wheel.
+func runLossy(out io.Writer, algos []string, clients, txns, chains int, seed uint64, drop, dup float64, hashName string) error {
+	hashFn, err := hashfn.ByName(hashName)
+	if err != nil {
+		return err
+	}
+	cfg := engine.LossyConfig{
+		Clients: clients,
+		Txns:    txns,
+		Seed:    seed,
+		Link: engine.LinkConfig{
+			Seed:     seed * 2654435761,
+			DropRate: drop,
+			DupRate:  dup,
+			Latency:  0.01,
+			Jitter:   0.004,
+		},
+		RTO:            0.25,
+		MaxRetries:     40,
+		MSL:            0.5,
+		MaxVirtualTime: 3600,
+	}
+	fmt.Fprintf(out, "workload=lossy clients=%d txns=%d drop=%.0f%% dup=%.0f%% chains=%d\n\n",
+		clients, txns, drop*100, dup*100, chains)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintln(w, "algorithm\tcompleted\tdelivered\tdropped\tdup\tretransmits\taborts\tvtime\tmean-examined\thit-rate")
+	for _, name := range algos {
+		d, err := core.New(strings.TrimSpace(name), core.Config{Chains: chains, Hash: hashFn})
+		if err != nil {
+			return err
+		}
+		res, err := engine.RunLossyExchange(d, cfg)
+		if err != nil {
+			return err
+		}
+		status := "yes"
+		if !res.Completed {
+			status = "NO"
+		}
+		st := d.Stats()
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%.1fs\t%.2f\t%.2f%%\n",
+			d.Name(), status, res.Delivered, res.Dropped, res.Duplicated,
+			res.Retransmits, res.Aborts, res.VirtualTime,
+			st.MeanExamined(), st.HitRate()*100)
 	}
 	return nil
 }

@@ -41,6 +41,25 @@ func TestRunTrains(t *testing.T) {
 	}
 }
 
+func TestRunLossyWorkload(t *testing.T) {
+	var b strings.Builder
+	if err := runLossy(&b, []string{"bsd", "sequent"}, 10, 4, 19, 1, 0.2, 0.05, "multiplicative"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"workload=lossy", "retransmits", "bsd", "sequent-19"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lossy output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NO") {
+		t.Errorf("lossy exchange failed to complete:\n%s", out)
+	}
+	if err := runLossy(&b, []string{"bsd"}, 10, 4, 19, 1, 0.2, 0.05, "bogus-hash"); err == nil {
+		t.Error("unknown hash accepted")
+	}
+}
+
 func TestRunUnknownWorkloadAndAlgo(t *testing.T) {
 	var b strings.Builder
 	if err := run(&b, "bogus", []string{"bsd"}, 10, 0.2, 0, 19, 1, 1, "", "multiplicative", "tpca"); err == nil {

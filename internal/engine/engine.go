@@ -19,6 +19,7 @@ import (
 	"tcpdemux/internal/core"
 	"tcpdemux/internal/frag"
 	"tcpdemux/internal/rng"
+	"tcpdemux/internal/timer"
 	"tcpdemux/internal/wire"
 )
 
@@ -61,7 +62,12 @@ func (c *Conn) Send(payload []byte) error {
 // Close starts the active close: FIN is sent and the connection walks
 // FIN_WAIT_1 → FIN_WAIT_2 → TIME_WAIT as the peer responds. The PCB stays
 // in the demultiplexer through TIME_WAIT (lengthening lookup chains, as on
-// a real server) until Stack.ReapTimeWait collects it.
+// a real server) until the 2MSL timer fires under Stack.Tick or
+// Stack.ReapTimeWait collects it.
+//
+// Closing a connection that has not completed its handshake tears it down
+// directly: there is no established peer state to dissolve, so no FIN is
+// sent (and a SYN_RCVD close releases its listener backlog slot).
 func (c *Conn) Close() error {
 	c.stack.mu.Lock()
 	defer c.stack.mu.Unlock()
@@ -69,6 +75,20 @@ func (c *Conn) Close() error {
 	case core.StateClosed, core.StateTimeWait, core.StateFinWait1,
 		core.StateFinWait2, core.StateClosing, core.StateLastAck:
 		return ErrClosed
+	case core.StateSynSent:
+		c.stack.teardown(c.pcb)
+		return nil
+	case core.StateSynRcvd:
+		c.stack.releaseHalfOpen(c.pcb)
+		c.stack.teardown(c.pcb)
+		return nil
+	case core.StateCloseWait:
+		// Passive close: our FIN answers the peer's.
+		if err := c.stack.send(c.pcb, nil, wire.FlagFIN|wire.FlagACK); err != nil {
+			return err
+		}
+		c.pcb.State = core.StateLastAck
+		return nil
 	}
 	if err := c.stack.send(c.pcb, nil, wire.FlagFIN|wire.FlagACK); err != nil {
 		return err
@@ -89,11 +109,21 @@ type connData struct {
 	// application abandoned the data).
 	rxQueue [][]byte
 	// unacked retains the frame of the most recent sequence-consuming
-	// segment until the peer acknowledges it, for Stack.Retransmit. The
-	// engine is stop-and-wait per connection: a second send before the
-	// first is acknowledged replaces the retransmission buffer.
+	// segment until the peer acknowledges it, for the retransmission
+	// timer and Stack.Retransmit. The engine is stop-and-wait per
+	// connection: a second send before the first is acknowledged replaces
+	// the retransmission buffer.
 	unacked    []byte
 	unackedEnd uint32
+	// rtx is the pending retransmission timer for unacked; retries counts
+	// consecutive timer-driven retransmissions of the same segment (reset
+	// on acknowledgement) and drives exponential backoff and the
+	// max-retry abort.
+	rtx     *timer.Timer
+	retries int
+	// life is the connection-lifecycle timer: SYN_RCVD give-up while half
+	// open, the 2MSL clock once in TIME_WAIT.
+	life *timer.Timer
 }
 
 // rxQueueMax bounds the per-connection receive queue.
@@ -121,6 +151,22 @@ type Stack struct {
 	// OnAccept, if set, is invoked (with the lock held) when a passive
 	// open completes.
 	OnAccept func(*Conn)
+
+	// wheel and now are the stack's virtual-time lifecycle clock; see
+	// timers.go. Tick(now) advances them.
+	wheel *timer.Wheel
+	now   float64
+	// RTO, MaxRetries, MSL, and SynRcvdTimeout override the lifecycle
+	// timer defaults when positive; see timers.go.
+	RTO            float64
+	MaxRetries     int
+	MSL            float64
+	SynRcvdTimeout float64
+	// Timer-driven lifecycle counters.
+	Retransmits     uint64 // segments re-queued by the retransmission timer
+	Aborts          uint64 // connections dropped at the max-retry limit
+	SynExpired      uint64 // half-open PCBs reaped by the SYN_RCVD timer
+	TimeWaitExpired uint64 // PCBs reaped by the 2MSL timer
 }
 
 // NewStack builds a host endpoint at addr that demultiplexes with d.
@@ -132,6 +178,7 @@ func NewStack(addr wire.Addr, d core.Demuxer, seed uint64) *Stack {
 		handlers: make(map[uint16]Handler),
 		halfOpen: make(map[uint16]int),
 		reasm:    frag.New(64),
+		wheel:    timer.New(timerTick),
 	}
 }
 
@@ -223,6 +270,8 @@ func (s *Stack) send(pcb *core.PCB, payload []byte, flags uint8) error {
 		if cd, ok := pcb.UserData.(*connData); ok {
 			cd.unacked = frame
 			cd.unackedEnd = pcb.SndNxt
+			cd.retries = 0
+			s.armRetransmit(pcb, cd)
 		}
 	}
 	s.demux.NotifySend(pcb)
@@ -230,13 +279,31 @@ func (s *Stack) send(pcb *core.PCB, payload []byte, flags uint8) error {
 	return nil
 }
 
-// sendRST queues a reset for an unmatched segment.
+// sendRST queues a reset for an unmatched segment, following RFC 793's
+// reset-generation rules: if the offending segment carries an ACK, the
+// reset takes its sequence number from that ACK field; otherwise the
+// reset has sequence number zero and acknowledges the segment's SEG.LEN
+// (payload length plus one for each of SYN and FIN) so the sender can
+// match it.
 func (s *Stack) sendRST(seg *wire.Segment) {
 	ip := wire.IPv4Header{TTL: 64, Src: seg.IP.Dst, Dst: seg.IP.Src}
 	tcp := wire.TCPHeader{
 		SrcPort: seg.TCP.DstPort, DstPort: seg.TCP.SrcPort,
-		Seq: seg.TCP.Ack, Ack: seg.TCP.Seq + uint32(len(seg.Payload)) + 1,
-		Flags: wire.FlagRST | wire.FlagACK, Window: 0,
+		Flags: wire.FlagRST, Window: 0,
+	}
+	if seg.TCP.Flags&wire.FlagACK != 0 {
+		tcp.Seq = seg.TCP.Ack
+	} else {
+		segLen := uint32(len(seg.Payload))
+		if seg.TCP.Flags&wire.FlagSYN != 0 {
+			segLen++
+		}
+		if seg.TCP.Flags&wire.FlagFIN != 0 {
+			segLen++
+		}
+		tcp.Seq = 0
+		tcp.Ack = seg.TCP.Seq + segLen
+		tcp.Flags |= wire.FlagACK
 	}
 	if frame, err := wire.BuildSegment(ip, tcp, nil); err == nil {
 		s.outbox = append(s.outbox, frame)
@@ -244,8 +311,15 @@ func (s *Stack) sendRST(seg *wire.Segment) {
 }
 
 // teardown removes the PCB from the demultiplexer and marks it closed,
-// releasing its ephemeral port if it had one. The caller holds s.mu.
+// canceling its lifecycle timers and releasing its ephemeral port if it
+// had one. The caller holds s.mu.
 func (s *Stack) teardown(pcb *core.PCB) {
+	if cd, ok := pcb.UserData.(*connData); ok {
+		cd.rtx.Cancel()
+		cd.rtx = nil
+		cd.life.Cancel()
+		cd.life = nil
+	}
 	s.demux.Remove(pcb.Key)
 	pcb.State = core.StateClosed
 	s.releasePort(pcb.Key.LocalPort)
@@ -304,10 +378,14 @@ func (s *Stack) Deliver(frame []byte) (core.Result, error) {
 	}
 	pcb.RxSegments++
 	pcb.RxBytes += uint64(len(seg.Payload))
-	// Any acknowledgement covering the retransmission buffer releases it.
+	// Any acknowledgement covering the retransmission buffer releases it
+	// and quenches the retransmission timer.
 	if seg.TCP.Flags&wire.FlagACK != 0 {
 		if cd, ok := pcb.UserData.(*connData); ok && cd.unacked != nil && seg.TCP.Ack == cd.unackedEnd {
 			cd.unacked = nil
+			cd.retries = 0
+			cd.rtx.Cancel()
+			cd.rtx = nil
 		}
 	}
 
@@ -337,8 +415,12 @@ func (s *Stack) handleClosing(pcb *core.PCB, seg *wire.Segment) {
 	f := seg.TCP.Flags
 	if f&wire.FlagRST != 0 {
 		if seg.TCP.Seq == pcb.RcvNxt {
+			// Capture the state before teardown forces it to CLOSED: only
+			// a PCB that was actually lingering in TIME_WAIT is on the
+			// time-wait list, so only then is the O(n) scrub warranted.
+			wasTimeWait := pcb.State == core.StateTimeWait
 			s.teardown(pcb)
-			if pcb.State == core.StateClosed {
+			if wasTimeWait {
 				s.unTimeWait(pcb)
 			}
 		}
@@ -346,6 +428,10 @@ func (s *Stack) handleClosing(pcb *core.PCB, seg *wire.Segment) {
 	}
 	finAcked := f&wire.FlagACK != 0 && seg.TCP.Ack == pcb.SndNxt
 	finHere := f&wire.FlagFIN != 0 && seg.TCP.Seq+uint32(len(seg.Payload)) == pcb.RcvNxt
+	// A data segment below the window is a retransmission whose original
+	// acknowledgement was lost; re-acknowledge so the peer can release its
+	// buffer instead of backing off to an abort.
+	staleData := len(seg.Payload) > 0 && seg.TCP.Seq+uint32(len(seg.Payload)) == pcb.RcvNxt
 
 	switch pcb.State {
 	case core.StateFinWait1:
@@ -361,11 +447,18 @@ func (s *Stack) handleClosing(pcb *core.PCB, seg *wire.Segment) {
 			_ = s.send(pcb, nil, wire.FlagACK)
 		case finAcked:
 			pcb.State = core.StateFinWait2
+			if staleData {
+				_ = s.send(pcb, nil, wire.FlagACK)
+			}
+		case staleData:
+			_ = s.send(pcb, nil, wire.FlagACK)
 		}
 	case core.StateFinWait2:
 		if finHere {
 			pcb.RcvNxt++
 			s.enterTimeWait(pcb)
+			_ = s.send(pcb, nil, wire.FlagACK)
+		} else if staleData {
 			_ = s.send(pcb, nil, wire.FlagACK)
 		}
 	case core.StateClosing:
@@ -374,19 +467,23 @@ func (s *Stack) handleClosing(pcb *core.PCB, seg *wire.Segment) {
 		}
 	case core.StateTimeWait:
 		// A retransmitted FIN sits one octet below RcvNxt — we already
-		// consumed it once; the peer evidently lost our final ACK.
+		// consumed it once; the peer evidently lost our final ACK. Re-ack
+		// and restart the 2MSL clock, as RFC 793 prescribes.
 		if f&wire.FlagFIN != 0 && seg.TCP.Seq+uint32(len(seg.Payload)) == pcb.RcvNxt-1 {
 			_ = s.send(pcb, nil, wire.FlagACK)
+			s.armTimeWait(pcb)
 		}
 	}
 }
 
 // enterTimeWait parks the PCB in TIME_WAIT. It remains in the
-// demultiplexer — and therefore keeps lengthening its chain — until
-// ReapTimeWait runs, modeling the 2MSL linger of a real stack.
+// demultiplexer — and therefore keeps lengthening its chain — until the
+// 2MSL timer fires under Stack.Tick (or ReapTimeWait forces the issue),
+// modeling the 2MSL linger of a real stack.
 func (s *Stack) enterTimeWait(pcb *core.PCB) {
 	pcb.State = core.StateTimeWait
 	s.timeWait = append(s.timeWait, pcb)
+	s.armTimeWait(pcb)
 }
 
 // unTimeWait drops a torn-down PCB from the TIME_WAIT list.
@@ -406,8 +503,11 @@ func (s *Stack) TimeWaitCount() int {
 	return len(s.timeWait)
 }
 
-// ReapTimeWait removes every TIME_WAIT PCB from the demultiplexer (the
-// 2MSL timer firing) and returns how many were collected.
+// ReapTimeWait removes every TIME_WAIT PCB from the demultiplexer
+// immediately — forcing every 2MSL timer, wherever it stands — and
+// returns how many were collected. Under Stack.Tick the same collection
+// happens automatically as each PCB's own 2MSL deadline passes; this
+// manual sweep remains for tests and clock-less callers.
 func (s *Stack) ReapTimeWait() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -450,8 +550,13 @@ func (s *Stack) handleListen(listener *core.PCB, seg *wire.Segment, key core.Key
 	}
 	s.halfOpen[key.LocalPort]++
 	if err := s.send(pcb, nil, wire.FlagSYN|wire.FlagACK); err != nil {
+		// Release the backlog slot we just took, or a transient send
+		// failure permanently shrinks the listener's accept capacity.
+		s.releaseHalfOpen(pcb)
 		s.teardown(pcb)
+		return
 	}
+	s.armSynRcvdExpiry(pcb)
 }
 
 // releaseHalfOpen decrements the listener's half-open count when a
@@ -492,8 +597,11 @@ func (s *Stack) handleSynRcvd(pcb *core.PCB, seg *wire.Segment) {
 	}
 	s.releaseHalfOpen(pcb)
 	pcb.State = core.StateEstablished
-	if s.OnAccept != nil {
-		if cd, ok := pcb.UserData.(*connData); ok {
+	if cd, ok := pcb.UserData.(*connData); ok {
+		// Handshake complete: the SYN_RCVD give-up timer no longer applies.
+		cd.life.Cancel()
+		cd.life = nil
+		if s.OnAccept != nil {
 			s.OnAccept(cd.conn)
 		}
 	}
@@ -678,18 +786,19 @@ func (s *Stack) Netstat() []ConnInfo {
 }
 
 // Retransmit re-queues every connection's unacknowledged segment and
-// returns how many were queued. Callers drive it when a link may have
-// dropped frames (see examples/netpipe); on a lossless in-memory link it
-// is a no-op by the time Pump quiesces.
+// returns how many were queued. It is the manual, sweep-everything face
+// of the per-connection retransmission timers that Stack.Tick drives:
+// callers without a clock use it when a link may have dropped frames
+// (see examples/netpipe); on a lossless in-memory link it is a no-op by
+// the time Pump quiesces. A manual sweep does not advance any timer's
+// backoff or retry count.
 func (s *Stack) Retransmit() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
 	s.demux.Walk(func(p *core.PCB) bool {
 		if cd, ok := p.UserData.(*connData); ok && cd.unacked != nil && p.State != core.StateClosed {
-			s.outbox = append(s.outbox, cd.unacked)
-			p.TxSegments++
-			s.demux.NotifySend(p)
+			s.requeueUnacked(p, cd)
 			n++
 		}
 		return true

@@ -1,0 +1,347 @@
+// Lossy-link harness: a deterministic, seeded in-memory "wire" between
+// two Stacks that drops, duplicates, and jitter-reorders frames, with
+// both endpoints driven solely by Stack.Tick. It replaces Pump for
+// robustness scenarios: Pump assumes every frame arrives exactly once,
+// which makes the engine's retransmission machinery dead code; the Link
+// makes that machinery load-bearing, and RunLossyExchange proves an
+// application exchange survives it byte for byte.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/wire"
+)
+
+// LinkConfig parameterizes the lossy wire. Zero values mean a perfect
+// link with DefaultLinkLatency delay.
+type LinkConfig struct {
+	// Seed drives the loss process; the same seed replays the same fate
+	// for every frame.
+	Seed uint64
+	// DropRate is the probability an in-flight frame vanishes.
+	DropRate float64
+	// DupRate is the probability a surviving frame is delivered twice.
+	DupRate float64
+	// Latency is the one-way delay in virtual seconds
+	// (DefaultLinkLatency if zero).
+	Latency float64
+	// Jitter adds a uniform [0, Jitter) extra delay per copy, reordering
+	// frames that were sent close together.
+	Jitter float64
+	// PadTo, when positive, pads every delivered frame with trailing
+	// zeros to at least PadTo bytes, the way Ethernet pads small frames
+	// to its 60-byte minimum. The IP total length bounds parsing, so the
+	// padding must be invisible to the receiving stack.
+	PadTo int
+}
+
+// DefaultLinkLatency is the one-way delay when LinkConfig.Latency is
+// zero: 10 ms of virtual time.
+const DefaultLinkLatency = 0.01
+
+// flight is one frame copy in transit.
+type flight struct {
+	frame []byte
+	to    *Stack
+	at    float64 // delivery time
+	seq   uint64  // tie-break: launch order
+}
+
+// Link is the lossy wire between two stacks. Drive it by alternating
+// Shuttle (collect + deliver) with advancing virtual time; Idle reports
+// when nothing remains in transit.
+type Link struct {
+	a, b *Stack
+	cfg  LinkConfig
+	src  *rng.Source
+	// inflight holds undelivered frame copies, unsorted; Shuttle delivers
+	// the due ones in (at, seq) order.
+	inflight []flight
+	seq      uint64
+
+	// Delivered, Dropped, and Duplicated count frame fates, for
+	// reporting.
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+}
+
+// NewLink wires two stacks together through the loss model.
+func NewLink(a, b *Stack, cfg LinkConfig) *Link {
+	if cfg.Latency <= 0 {
+		cfg.Latency = DefaultLinkLatency
+	}
+	return &Link{a: a, b: b, cfg: cfg, src: rng.New(cfg.Seed)}
+}
+
+// Idle reports whether the wire has no frame copies in transit.
+func (l *Link) Idle() bool { return len(l.inflight) == 0 }
+
+// launch decides one drained frame's fate and schedules its copies.
+func (l *Link) launch(frame []byte, to *Stack, now float64) {
+	if l.src.Float64() < l.cfg.DropRate {
+		l.Dropped++
+		return
+	}
+	if l.cfg.PadTo > len(frame) {
+		padded := make([]byte, l.cfg.PadTo)
+		copy(padded, frame)
+		frame = padded
+	}
+	copies := 1
+	if l.src.Float64() < l.cfg.DupRate {
+		l.Duplicated++
+		copies = 2
+	}
+	for c := 0; c < copies; c++ {
+		at := now + l.cfg.Latency
+		if l.cfg.Jitter > 0 {
+			at += l.src.Float64() * l.cfg.Jitter
+		}
+		l.inflight = append(l.inflight, flight{frame: frame, to: to, at: at, seq: l.seq})
+		l.seq++
+	}
+}
+
+// Shuttle collects both stacks' outboxes through the loss model, then
+// delivers every frame copy due by now, in arrival order. Callers
+// alternate Shuttle with Stack.Tick on both ends to run the clock.
+func (l *Link) Shuttle(now float64) error {
+	for _, frame := range l.a.Drain() {
+		l.launch(frame, l.b, now)
+	}
+	for _, frame := range l.b.Drain() {
+		l.launch(frame, l.a, now)
+	}
+	due := l.inflight[:0]
+	var deliver []flight
+	for _, f := range l.inflight {
+		if f.at <= now {
+			deliver = append(deliver, f)
+		} else {
+			due = append(due, f)
+		}
+	}
+	l.inflight = due
+	sort.Slice(deliver, func(i, j int) bool {
+		if deliver[i].at != deliver[j].at {
+			return deliver[i].at < deliver[j].at
+		}
+		return deliver[i].seq < deliver[j].seq
+	})
+	for _, f := range deliver {
+		if _, err := f.to.Deliver(f.frame); err != nil {
+			return fmt.Errorf("lossy deliver: %w", err)
+		}
+		l.Delivered++
+	}
+	return nil
+}
+
+// LossyConfig parameterizes RunLossyExchange.
+type LossyConfig struct {
+	// Clients is the number of concurrent client connections.
+	Clients int
+	// Txns is the number of request/response transactions per client.
+	Txns int
+	// Link is the loss model.
+	Link LinkConfig
+	// Seed feeds the stacks' ISS generators (the Link has its own).
+	Seed uint64
+	// RTO, MaxRetries, MSL configure both stacks' lifecycle timers
+	// (engine defaults if zero). Lossy runs want a small RTO and a
+	// generous retry budget.
+	RTO        float64
+	MaxRetries int
+	MSL        float64
+	// Step is the virtual-time stride between Shuttle/Tick rounds
+	// (defaults to half the link latency).
+	Step float64
+	// MaxVirtualTime aborts a run that fails to complete (default 1000
+	// virtual seconds).
+	MaxVirtualTime float64
+}
+
+// LossyResult reports one exchange.
+type LossyResult struct {
+	// Completed is true when every client collected every response and
+	// finished its close handshake.
+	Completed bool
+	// Responses holds each client's concatenated response bytes in
+	// application order — the conformance artifact: it must not depend on
+	// the loss process.
+	Responses [][]byte
+	// VirtualTime is when the exchange completed (or gave up).
+	VirtualTime float64
+
+	// Wire and lifecycle counters.
+	Delivered, Dropped, Duplicated uint64
+	Retransmits, Aborts            uint64
+	SynExpired, TimeWaitExpired    uint64
+}
+
+// lossyPort is the server's listening port for the exchange.
+const lossyPort = 1521
+
+// lossyHandler is the server side of the exchange: a deterministic
+// response computed from the request alone, so two runs under different
+// loss processes must produce identical bytes.
+func lossyHandler(_ *Conn, payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+4)
+	out = append(out, "ok<"...)
+	out = append(out, payload...)
+	return append(out, '>')
+}
+
+// lossyRequest builds client c's transaction t request payload.
+func lossyRequest(c, t int) []byte {
+	return []byte(fmt.Sprintf("txn c%02d t%03d debit 100", c, t))
+}
+
+// RunLossyExchange drives Clients request/response conversations through
+// a lossy wire between a client stack and a server stack demultiplexing
+// with d, using only Stack.Tick for retransmission and lifecycle — no
+// manual Retransmit or ReapTimeWait calls. Each client opens a
+// connection, performs Txns stop-and-wait transactions, then closes.
+func RunLossyExchange(d core.Demuxer, cfg LossyConfig) (*LossyResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Txns <= 0 {
+		cfg.Txns = 1
+	}
+	if cfg.Step <= 0 {
+		lat := cfg.Link.Latency
+		if lat <= 0 {
+			lat = DefaultLinkLatency
+		}
+		cfg.Step = lat / 2
+	}
+	if cfg.MaxVirtualTime <= 0 {
+		cfg.MaxVirtualTime = 1000
+	}
+
+	server := NewStack(serverAddrLossy, d, cfg.Seed|1)
+	client := NewStack(clientAddrLossy, core.NewMapDemux(), cfg.Seed+2)
+	// Room for every client to open at once: backlog pressure is its own
+	// scenario (see the SYN-flood tests); this exchange studies loss.
+	server.Backlog = cfg.Clients
+	for _, s := range []*Stack{server, client} {
+		s.RTO = cfg.RTO
+		s.MaxRetries = cfg.MaxRetries
+		s.MSL = cfg.MSL
+	}
+	if err := server.Listen(lossyPort, lossyHandler); err != nil {
+		return nil, err
+	}
+	link := NewLink(client, server, cfg.Link)
+
+	// Per-client conversation state, advanced by poll().
+	type clientState struct {
+		conn    *Conn
+		txn     int    // next transaction to send
+		sent    bool   // request for txn is outstanding
+		got     []byte // concatenated responses
+		closing bool   // all transactions collected, Close issued
+		done    bool   // close handshake reached TIME_WAIT (or torn down)
+	}
+	conv := make([]*clientState, cfg.Clients)
+	for i := range conv {
+		c, err := client.ConnectEphemeral(serverAddrLossy, lossyPort, nil)
+		if err != nil {
+			return nil, err
+		}
+		conv[i] = &clientState{conn: c}
+	}
+
+	poll := func(cs *clientState) error {
+		if cs.done {
+			return nil
+		}
+		switch cs.conn.State() {
+		case core.StateClosed:
+			// Aborted before finishing, or fully collected after close.
+			cs.done = true
+			return nil
+		case core.StateTimeWait:
+			// The peer's FIN arrived: the close handshake completed under
+			// loss; only the 2MSL linger remains.
+			cs.done = cs.closing
+			return nil
+		case core.StateEstablished:
+		default:
+			// Handshake or close still in flight; the timers drive it.
+			return nil
+		}
+		if resp := cs.conn.Receive(); resp != nil {
+			cs.got = append(cs.got, resp...)
+			cs.sent = false
+			cs.txn++
+		}
+		if cs.sent {
+			return nil // stop-and-wait: one outstanding request
+		}
+		if cs.txn >= cfg.Txns {
+			cs.closing = true
+			return cs.conn.Close()
+		}
+		if err := cs.conn.Send(lossyRequest(int(cs.conn.Key().LocalPort), cs.txn)); err != nil {
+			return err
+		}
+		cs.sent = true
+		return nil
+	}
+
+	res := &LossyResult{}
+	now := 0.0
+	for {
+		allDone := true
+		for _, cs := range conv {
+			if err := poll(cs); err != nil {
+				return nil, err
+			}
+			if !cs.done {
+				allDone = false
+			}
+		}
+		if allDone && link.Idle() {
+			res.Completed = true
+			break
+		}
+		if now >= cfg.MaxVirtualTime {
+			break
+		}
+		now += cfg.Step
+		if err := link.Shuttle(now); err != nil {
+			return nil, err
+		}
+		client.Tick(now)
+		server.Tick(now)
+	}
+
+	res.VirtualTime = now
+	for _, cs := range conv {
+		res.Responses = append(res.Responses, cs.got)
+		if cs.txn < cfg.Txns {
+			res.Completed = false
+		}
+	}
+	res.Delivered = link.Delivered
+	res.Dropped = link.Dropped
+	res.Duplicated = link.Duplicated
+	res.Retransmits = client.Retransmits + server.Retransmits
+	res.Aborts = client.Aborts + server.Aborts
+	res.SynExpired = server.SynExpired
+	res.TimeWaitExpired = client.TimeWaitExpired + server.TimeWaitExpired
+	return res, nil
+}
+
+// Exchange endpoints (distinct names so test files can keep their own).
+var (
+	serverAddrLossy = wire.MakeAddr(10, 0, 0, 1)
+	clientAddrLossy = wire.MakeAddr(10, 0, 0, 2)
+)

@@ -1,0 +1,214 @@
+// Connection-lifecycle timers. Each Stack owns a virtual-time timer
+// wheel (internal/timer) keyed on the same float64 clock the frag and
+// sim packages use, and Stack.Tick(now) advances it. Three timer
+// families hang off the wheel:
+//
+//   - Retransmission: every sequence-consuming send arms a per-connection
+//     timer; on expiry the retained frame is re-queued and the timeout
+//     doubles (exponential backoff, capped), until an acknowledgement
+//     quenches it or the max-retry limit aborts the connection.
+//   - SYN_RCVD give-up: a passive open that never completes its handshake
+//     is reaped after SynRcvdTimeout, releasing its listener backlog slot
+//     — the flood defence that keeps abandoned half-open PCBs from
+//     squatting in the lookup structures forever.
+//   - TIME_WAIT 2MSL: the active closer's linger expires on its own,
+//     removing the PCB from the demultiplexer without a manual
+//     ReapTimeWait sweep.
+//
+// Timer callbacks run inside Tick with the stack lock held, so they may
+// use every internal helper but must never call public Stack/Conn
+// methods that re-lock.
+package engine
+
+import (
+	"tcpdemux/internal/core"
+)
+
+// Lifecycle timer defaults, overridable per Stack via the corresponding
+// exported fields. Values are virtual seconds.
+const (
+	// timerTick is the wheel granularity: 1 ms, fine enough to resolve
+	// the engine's smallest RTO against the coarse 2MSL clock.
+	timerTick = 1e-3
+	// DefaultRTO is the initial retransmission timeout.
+	DefaultRTO = 1.0
+	// DefaultMaxRetries bounds consecutive unacknowledged retransmissions
+	// of one segment before the connection is aborted.
+	DefaultMaxRetries = 8
+	// DefaultMSL is the maximum segment lifetime; TIME_WAIT lingers 2×MSL
+	// (RFC 793 suggests 2 minutes per MSL; simulations want it shorter).
+	DefaultMSL = 30.0
+	// DefaultSynRcvdTimeout is how long a half-open (SYN_RCVD) PCB may
+	// wait for the handshake-completing ACK — BSD's classic 75 s
+	// connection-establishment timer.
+	DefaultSynRcvdTimeout = 75.0
+	// rtoBackoffCap bounds the exponential backoff shift, so the longest
+	// interval is RTO × 2^rtoBackoffCap.
+	rtoBackoffCap = 6
+)
+
+func (s *Stack) rto() float64 {
+	if s.RTO > 0 {
+		return s.RTO
+	}
+	return DefaultRTO
+}
+
+func (s *Stack) maxRetries() int {
+	if s.MaxRetries > 0 {
+		return s.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+func (s *Stack) msl() float64 {
+	if s.MSL > 0 {
+		return s.MSL
+	}
+	return DefaultMSL
+}
+
+func (s *Stack) synRcvdTimeout() float64 {
+	if s.SynRcvdTimeout > 0 {
+		return s.SynRcvdTimeout
+	}
+	return DefaultSynRcvdTimeout
+}
+
+// Tick advances the stack's virtual clock to now, firing every lifecycle
+// timer whose deadline has passed: due retransmissions are re-queued on
+// the outbox (collect them with Drain), expired half-open PCBs release
+// their backlog slots, and TIME_WAIT PCBs past 2MSL leave the
+// demultiplexer. Ticking backwards is a no-op. Safe for concurrent use.
+func (s *Stack) Tick(now float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now <= s.now {
+		return
+	}
+	// Advance before publishing s.now: while callbacks run, clock() must
+	// read the wheel's in-progress tick (the fire time), not the target,
+	// or every timer rearmed from a callback would drift late.
+	s.wheel.Advance(now)
+	s.now = now
+}
+
+// clock returns the stack's current virtual time as timer callbacks and
+// packet handlers should see it: the wheel's position while an Advance is
+// in progress, the last Tick otherwise. The caller holds s.mu.
+func (s *Stack) clock() float64 {
+	if w := s.wheel.Now(); w > s.now {
+		return w
+	}
+	return s.now
+}
+
+// Now returns the stack's current virtual time (the last Tick).
+func (s *Stack) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// PendingTimers returns the number of live lifecycle timers, for tests
+// and instrumentation.
+func (s *Stack) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wheel.Pending()
+}
+
+// requeueUnacked puts the connection's retained frame back on the outbox.
+// The caller holds s.mu.
+func (s *Stack) requeueUnacked(pcb *core.PCB, cd *connData) {
+	s.outbox = append(s.outbox, cd.unacked)
+	pcb.TxSegments++
+	s.demux.NotifySend(pcb)
+}
+
+// armRetransmit (re)schedules the retransmission timer for the
+// connection's retained segment at the current backoff interval. The
+// caller holds s.mu.
+func (s *Stack) armRetransmit(pcb *core.PCB, cd *connData) {
+	cd.rtx.Cancel()
+	shift := cd.retries
+	if shift > rtoBackoffCap {
+		shift = rtoBackoffCap
+	}
+	delay := s.rto() * float64(uint64(1)<<shift)
+	cd.rtx = s.wheel.Schedule(s.clock()+delay, func(float64) {
+		cd.rtx = nil
+		s.retransmitExpired(pcb, cd)
+	})
+}
+
+// retransmitExpired is the retransmission timer body: re-queue and back
+// off, or abort at the retry limit. Runs under s.mu (from Tick).
+func (s *Stack) retransmitExpired(pcb *core.PCB, cd *connData) {
+	if cd.unacked == nil || pcb.State == core.StateClosed {
+		return
+	}
+	if cd.retries >= s.maxRetries() {
+		s.Aborts++
+		s.abortPCB(pcb)
+		return
+	}
+	cd.retries++
+	s.Retransmits++
+	s.requeueUnacked(pcb, cd)
+	s.armRetransmit(pcb, cd)
+}
+
+// abortPCB drops a connection the way a timeout does: whatever state it
+// is in, its accounting (listener backlog, TIME_WAIT list) is unwound
+// before teardown. The caller holds s.mu.
+func (s *Stack) abortPCB(pcb *core.PCB) {
+	switch pcb.State {
+	case core.StateSynRcvd:
+		s.releaseHalfOpen(pcb)
+	case core.StateTimeWait:
+		s.unTimeWait(pcb)
+	}
+	s.teardown(pcb)
+}
+
+// armSynRcvdExpiry starts the half-open give-up clock on a freshly
+// spawned SYN_RCVD PCB. If the handshake has not completed when it
+// fires, the PCB is reaped and its backlog slot released. The caller
+// holds s.mu.
+func (s *Stack) armSynRcvdExpiry(pcb *core.PCB) {
+	cd, ok := pcb.UserData.(*connData)
+	if !ok {
+		return
+	}
+	cd.life.Cancel()
+	cd.life = s.wheel.Schedule(s.clock()+s.synRcvdTimeout(), func(float64) {
+		cd.life = nil
+		if pcb.State != core.StateSynRcvd {
+			return
+		}
+		s.SynExpired++
+		s.releaseHalfOpen(pcb)
+		s.teardown(pcb)
+	})
+}
+
+// armTimeWait starts (or restarts, for a re-acknowledged FIN) the 2MSL
+// clock on a TIME_WAIT PCB. When it fires the PCB leaves both the
+// time-wait list and the demultiplexer. The caller holds s.mu.
+func (s *Stack) armTimeWait(pcb *core.PCB) {
+	cd, ok := pcb.UserData.(*connData)
+	if !ok {
+		return
+	}
+	cd.life.Cancel()
+	cd.life = s.wheel.Schedule(s.clock()+2*s.msl(), func(float64) {
+		cd.life = nil
+		if pcb.State != core.StateTimeWait {
+			return
+		}
+		s.TimeWaitExpired++
+		s.unTimeWait(pcb)
+		s.teardown(pcb)
+	})
+}

@@ -1,0 +1,406 @@
+package engine
+
+import (
+	"testing"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/wire"
+)
+
+// TestRetransmitTimerBackoffAndAbort: a SYN into the void must be
+// re-queued by the retransmission timer at exponentially backed-off
+// intervals and the connection aborted at the retry limit — all driven by
+// Tick alone.
+func TestRetransmitTimerBackoffAndAbort(t *testing.T) {
+	d := core.NewMapDemux()
+	client := NewStack(clientAddr, d, 7)
+	client.RTO = 0.1
+	client.MaxRetries = 3
+	conn, err := client.Connect(serverAddr, 80, 40000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(client.Drain()); n != 1 {
+		t.Fatalf("initial SYN: %d frames", n)
+	}
+
+	// Backoff doubles each round: fires at 0.1, 0.3, 0.7 re-queue the SYN;
+	// the fourth firing (1.5) hits the retry limit and aborts.
+	for i, at := range []float64{0.15, 0.35, 0.75} {
+		client.Tick(at)
+		if n := len(client.Drain()); n != 1 {
+			t.Fatalf("tick %d (t=%v): %d frames queued, want 1", i, at, n)
+		}
+		if conn.State() != core.StateSynSent {
+			t.Fatalf("tick %d: state %v", i, conn.State())
+		}
+	}
+	if client.Retransmits != 3 {
+		t.Fatalf("Retransmits = %d, want 3", client.Retransmits)
+	}
+
+	client.Tick(1.0) // between retransmission 3 (0.7) and the abort (1.5)
+	if n := len(client.Drain()); n != 0 {
+		t.Fatalf("spurious frames between backoff deadlines: %d", n)
+	}
+	client.Tick(1.6)
+	if conn.State() != core.StateClosed {
+		t.Fatalf("state after retry limit = %v, want Closed", conn.State())
+	}
+	if client.Aborts != 1 {
+		t.Fatalf("Aborts = %d, want 1", client.Aborts)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("aborted PCB still in demuxer (len %d)", d.Len())
+	}
+	if client.PendingTimers() != 0 {
+		t.Fatalf("timers leaked after abort: %d", client.PendingTimers())
+	}
+}
+
+// TestAckQuenchesRetransmitTimer: once the peer acknowledges, ticking far
+// past every backoff deadline must produce no retransmissions.
+func TestAckQuenchesRetransmitTimer(t *testing.T) {
+	server, client, _, clientConn := connect(t)
+	if err := clientConn.Send([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pump(client, server); err != nil {
+		t.Fatal(err)
+	}
+	client.Tick(1000)
+	server.Tick(1000)
+	if n := len(client.Drain()) + len(server.Drain()); n != 0 {
+		t.Fatalf("%d frames retransmitted after everything was acked", n)
+	}
+	if client.Retransmits != 0 || server.Retransmits != 0 {
+		t.Fatalf("retransmit counters moved: client=%d server=%d",
+			client.Retransmits, server.Retransmits)
+	}
+}
+
+// TestSynRcvdExpiryRecoversBacklog is the backlog-leak regression test:
+// a flood of half-open connections must be reaped by the SYN_RCVD timer,
+// releasing every backlog slot so a legitimate client can connect — with
+// no manual teardown calls.
+func TestSynRcvdExpiryRecoversBacklog(t *testing.T) {
+	d := core.NewSequentHash(19, nil)
+	server := NewStack(serverAddr, d, 1)
+	server.Backlog = 4
+	server.SynRcvdTimeout = 5
+	server.RTO = 1000 // keep SYN|ACK retransmissions out of the picture
+	if err := server.Listen(1521, echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	const flood = 10
+	for i := 0; i < flood; i++ {
+		src := wire.MakeAddr(198, 51, 100, byte(i+1))
+		if _, err := server.Deliver(synFrom(t, src, uint16(2048+i))); err != nil {
+			t.Fatal(err)
+		}
+		server.Drain() // discard SYN|ACKs to nowhere
+	}
+	if got := d.Len(); got != 1+4 {
+		t.Fatalf("table = %d PCBs, want listener + backlog 4", got)
+	}
+	if server.SynDrops != flood-4 {
+		t.Fatalf("SynDrops = %d, want %d", server.SynDrops, flood-4)
+	}
+
+	// A legitimate client is shut out while the flood squats the backlog.
+	client := NewStack(clientAddr, core.NewMapDemux(), 2)
+	conn, err := client.Connect(serverAddr, 1521, 40000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pump(client, server); err != nil {
+		t.Fatal(err)
+	}
+	if conn.State() == core.StateEstablished {
+		t.Fatal("connected through a full backlog")
+	}
+
+	// The SYN_RCVD give-up timer reaps the abandoned half-opens.
+	server.Tick(6)
+	if server.SynExpired != 4 {
+		t.Fatalf("SynExpired = %d, want 4", server.SynExpired)
+	}
+	if got := d.Len(); got != 1 {
+		t.Fatalf("table = %d PCBs after expiry, want just the listener", got)
+	}
+
+	// Every slot was released: the client's retransmitted SYN now lands.
+	if n := client.Retransmit(); n != 1 {
+		t.Fatalf("client retransmit queued %d", n)
+	}
+	if _, err := Pump(client, server); err != nil {
+		t.Fatal(err)
+	}
+	if conn.State() != core.StateEstablished {
+		t.Fatalf("client blocked after backlog recovery: %v", conn.State())
+	}
+}
+
+// TestTimeWaitAutoExpiry: the 2MSL clock alone must collect a TIME_WAIT
+// PCB, with ReapTimeWait never called.
+func TestTimeWaitAutoExpiry(t *testing.T) {
+	server, client, _, clientConn := connect(t)
+	client.MSL = 1
+	if err := clientConn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pump(client, server); err != nil {
+		t.Fatal(err)
+	}
+	if clientConn.State() != core.StateTimeWait {
+		t.Fatalf("state after close = %v", clientConn.State())
+	}
+	if client.TimeWaitCount() != 1 {
+		t.Fatalf("TimeWaitCount = %d", client.TimeWaitCount())
+	}
+
+	client.Tick(1.9) // inside the 2MSL window
+	if clientConn.State() != core.StateTimeWait {
+		t.Fatalf("left TIME_WAIT early: %v", clientConn.State())
+	}
+	client.Tick(2.1)
+	if clientConn.State() != core.StateClosed {
+		t.Fatalf("state after 2MSL = %v, want Closed", clientConn.State())
+	}
+	if client.TimeWaitExpired != 1 {
+		t.Fatalf("TimeWaitExpired = %d", client.TimeWaitExpired)
+	}
+	if client.TimeWaitCount() != 0 {
+		t.Fatalf("TimeWaitCount = %d after expiry", client.TimeWaitCount())
+	}
+	if client.PendingTimers() != 0 {
+		t.Fatalf("timers leaked: %d", client.PendingTimers())
+	}
+}
+
+// TestCloseSynSentTearsDown: closing a connection whose SYN was never
+// answered must tear it down directly — no FIN, no FIN_WAIT_1.
+func TestCloseSynSentTearsDown(t *testing.T) {
+	d := core.NewMapDemux()
+	client := NewStack(clientAddr, d, 3)
+	conn, err := client.Connect(serverAddr, 80, 40000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Drain() // the unanswered SYN
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if conn.State() != core.StateClosed {
+		t.Fatalf("state = %v, want Closed", conn.State())
+	}
+	if d.Len() != 0 {
+		t.Fatalf("PCB left in demuxer")
+	}
+	if n := len(client.Drain()); n != 0 {
+		t.Fatalf("close of SYN_SENT queued %d frames, want none", n)
+	}
+	if client.PendingTimers() != 0 {
+		t.Fatalf("timers leaked: %d", client.PendingTimers())
+	}
+}
+
+// TestCloseSynRcvdReleasesBacklog: closing a half-open server connection
+// must free its backlog slot, not walk the FIN states.
+func TestCloseSynRcvdReleasesBacklog(t *testing.T) {
+	d := core.NewMapDemux()
+	server := NewStack(serverAddr, d, 1)
+	server.Backlog = 1
+	if err := server.Listen(80, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		src := wire.MakeAddr(203, 0, 113, byte(i+1))
+		if _, err := server.Deliver(synFrom2(t, src, 5000, 80)); err != nil {
+			t.Fatal(err)
+		}
+		server.Drain()
+		var half *core.PCB
+		d.Walk(func(p *core.PCB) bool {
+			if p.State == core.StateSynRcvd {
+				half = p
+			}
+			return true
+		})
+		if half == nil {
+			t.Fatalf("round %d: SYN through a free backlog spawned nothing (leaked slot)", i)
+		}
+		cd := half.UserData.(*connData)
+		if err := cd.conn.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", i, err)
+		}
+		if half.State != core.StateClosed {
+			t.Fatalf("round %d: state = %v, want Closed", i, half.State)
+		}
+		if n := len(server.Drain()); n != 0 {
+			t.Fatalf("round %d: close of SYN_RCVD queued %d frames", i, n)
+		}
+	}
+}
+
+// synFrom2 is synFrom with an explicit destination port.
+func synFrom2(t *testing.T, src wire.Addr, sport, dport uint16) []byte {
+	t.Helper()
+	frame, err := wire.BuildSegment(
+		wire.IPv4Header{TTL: 64, Src: src, Dst: serverAddr},
+		wire.TCPHeader{SrcPort: sport, DstPort: dport, Seq: 9, Flags: wire.FlagSYN, Window: 1024},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestSendRSTAckRules checks both reset-generation arms of RFC 793: an
+// offending segment with ACK yields Seq=SEG.ACK and no ACK flag; one
+// without ACK yields Seq=0, ACK set, Ack=SEG.SEQ+SEG.LEN (with SYN and
+// FIN each counting one).
+func TestSendRSTAckRules(t *testing.T) {
+	server := NewStack(serverAddr, core.NewMapDemux(), 1)
+
+	// ACK-bearing stray segment (no listener, no connection).
+	frame, err := wire.BuildSegment(
+		wire.IPv4Header{TTL: 64, Src: clientAddr, Dst: serverAddr},
+		wire.TCPHeader{SrcPort: 4000, DstPort: 81, Seq: 500, Ack: 7777,
+			Flags: wire.FlagACK, Window: 1024},
+		[]byte("xyz"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Deliver(frame); err != nil {
+		t.Fatal(err)
+	}
+	out := server.Drain()
+	if len(out) != 1 {
+		t.Fatalf("ACK stray drew %d replies", len(out))
+	}
+	rst, err := wire.ParseSegment(out[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.TCP.Flags != wire.FlagRST {
+		t.Fatalf("flags = %s, want bare RST", wire.FlagNames(rst.TCP.Flags))
+	}
+	if rst.TCP.Seq != 7777 {
+		t.Fatalf("RST seq = %d, want the stray's Ack 7777", rst.TCP.Seq)
+	}
+
+	// ACK-less segments: SEG.LEN counts payload plus SYN and FIN.
+	cases := []struct {
+		flags   uint8
+		payload []byte
+		wantAck uint32
+	}{
+		{wire.FlagSYN, nil, 501},                           // bare SYN: +1
+		{wire.FlagSYN | wire.FlagFIN, []byte("abcd"), 506}, // 4 data +2
+	}
+	for _, tc := range cases {
+		frame, err := wire.BuildSegment(
+			wire.IPv4Header{TTL: 64, Src: clientAddr, Dst: serverAddr},
+			wire.TCPHeader{SrcPort: 4001, DstPort: 81, Seq: 500,
+				Flags: tc.flags, Window: 1024},
+			tc.payload,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := server.Deliver(frame); err != nil {
+			t.Fatal(err)
+		}
+		out := server.Drain()
+		if len(out) != 1 {
+			t.Fatalf("flags %s: %d replies", wire.FlagNames(tc.flags), len(out))
+		}
+		rst, err := wire.ParseSegment(out[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rst.TCP.Flags != wire.FlagRST|wire.FlagACK {
+			t.Fatalf("flags %s: reply flags = %s, want RST|ACK",
+				wire.FlagNames(tc.flags), wire.FlagNames(rst.TCP.Flags))
+		}
+		if rst.TCP.Seq != 0 {
+			t.Fatalf("flags %s: RST seq = %d, want 0", wire.FlagNames(tc.flags), rst.TCP.Seq)
+		}
+		if rst.TCP.Ack != tc.wantAck {
+			t.Fatalf("flags %s: RST ack = %d, want %d",
+				wire.FlagNames(tc.flags), rst.TCP.Ack, tc.wantAck)
+		}
+	}
+}
+
+// TestRSTTeardownScrubsTimeWaitOnly: an in-window RST tears down a
+// FIN_WAIT_1 PCB without touching the time-wait list, and evicts a
+// TIME_WAIT PCB from it.
+func TestRSTTeardownScrubsTimeWaitOnly(t *testing.T) {
+	rstFor := func(t *testing.T, c *Conn) []byte {
+		t.Helper()
+		k := c.Key()
+		frame, err := wire.BuildSegment(
+			wire.IPv4Header{TTL: 64, Src: k.RemoteAddr, Dst: k.LocalAddr},
+			wire.TCPHeader{SrcPort: k.RemotePort, DstPort: k.LocalPort,
+				Seq: c.pcb.RcvNxt, Flags: wire.FlagRST, Window: 0},
+			nil,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame
+	}
+
+	// RST in FIN_WAIT_1 (FIN sent, nothing pumped).
+	_, client, _, clientConn := connect(t)
+	if err := clientConn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if clientConn.State() != core.StateFinWait1 {
+		t.Fatalf("state = %v", clientConn.State())
+	}
+	if _, err := client.Deliver(rstFor(t, clientConn)); err != nil {
+		t.Fatal(err)
+	}
+	if clientConn.State() != core.StateClosed {
+		t.Fatalf("state after RST = %v", clientConn.State())
+	}
+	if client.TimeWaitCount() != 0 {
+		t.Fatalf("TimeWaitCount = %d for a never-TIME_WAIT conn", client.TimeWaitCount())
+	}
+
+	// RST in TIME_WAIT must also scrub the time-wait list.
+	server2, client2, _, clientConn2 := connect(t)
+	if err := clientConn2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pump(client2, server2); err != nil {
+		t.Fatal(err)
+	}
+	if clientConn2.State() != core.StateTimeWait || client2.TimeWaitCount() != 1 {
+		t.Fatalf("setup: state %v, timeWait %d", clientConn2.State(), client2.TimeWaitCount())
+	}
+	if _, err := client2.Deliver(rstFor(t, clientConn2)); err != nil {
+		t.Fatal(err)
+	}
+	if clientConn2.State() != core.StateClosed {
+		t.Fatalf("state after RST = %v", clientConn2.State())
+	}
+	if client2.TimeWaitCount() != 0 {
+		t.Fatalf("RST-torn PCB still on the time-wait list")
+	}
+}
+
+// TestTickBackwardsIsNoOp: the virtual clock never runs backwards.
+func TestTickBackwardsIsNoOp(t *testing.T) {
+	s := NewStack(clientAddr, core.NewMapDemux(), 1)
+	s.Tick(10)
+	s.Tick(5)
+	if got := s.Now(); got != 10 {
+		t.Fatalf("Now = %v after backwards tick, want 10", got)
+	}
+}

@@ -1,0 +1,287 @@
+// Package timer implements a hierarchical timer wheel on the same
+// float64 virtual clock the frag and sim packages use. It is the
+// engine's connection-lifecycle clockwork: retransmission timeouts,
+// SYN_RCVD give-up, and TIME_WAIT's 2MSL linger all hang off one wheel
+// that the owner advances explicitly with Advance (the engine's
+// Stack.Tick), so every run stays deterministic and simulation-speed.
+//
+// The design is the classic kernel wheel (Varghese & Lauck): virtual
+// time is quantized into ticks, each of the four levels holds 64 slots,
+// and a slot at level l spans 64^l ticks. Insertion and cancellation are
+// O(1); advancing does O(1) amortized work per tick plus a cascade when
+// a level wraps. Timers beyond the top level's horizon (64^4 ticks) wait
+// in an overflow list that is reconsidered at each top-level wrap.
+//
+// Within one tick, timers fire ordered by (deadline, schedule order), so
+// firing order is globally deterministic and fire times are
+// nondecreasing. A timer never fires early: deadlines are rounded up to
+// the next tick boundary.
+//
+// The wheel is not safe for concurrent use; the engine serializes all
+// access under its stack lock.
+package timer
+
+import (
+	"math"
+	"sort"
+)
+
+// Wheel geometry.
+const (
+	slotBits = 6
+	numSlots = 1 << slotBits // 64 slots per level
+	slotMask = numSlots - 1
+	levels   = 4
+	// horizonTicks is the largest delta (exclusive) the wheel proper can
+	// hold; anything farther out waits in the overflow list.
+	horizonTicks = 1 << (slotBits * levels)
+)
+
+// DefaultTick is the wheel granularity used when none is given: 1 ms of
+// virtual time, three orders of magnitude below the engine's coarsest
+// timer (2MSL) and fine enough for sub-RTT retransmission timeouts.
+const DefaultTick = 1e-3
+
+// Timer is one scheduled callback. It is returned by Schedule and is
+// valid to Cancel until it fires.
+type Timer struct {
+	deadline float64
+	fn       func(now float64)
+	seq      uint64
+	wheel    *Wheel
+	state    timerState
+	overflow bool // currently parked in the overflow list
+}
+
+type timerState uint8
+
+const (
+	statePending timerState = iota
+	stateFired
+	stateCanceled
+)
+
+// Deadline returns the virtual time the timer was scheduled for.
+func (t *Timer) Deadline() float64 { return t.deadline }
+
+// Pending reports whether the timer is still waiting to fire.
+func (t *Timer) Pending() bool { return t != nil && t.state == statePending }
+
+// Cancel prevents a pending timer from firing and reports whether it was
+// still pending. Canceling a fired or already-canceled timer is a no-op.
+// The timer's slot entry is reclaimed lazily when its bucket is next
+// visited, so Cancel is O(1).
+func (t *Timer) Cancel() bool {
+	if t == nil || t.state != statePending {
+		return false
+	}
+	t.state = stateCanceled
+	t.wheel.pending--
+	if t.overflow {
+		t.wheel.overflowLive--
+	}
+	return true
+}
+
+// Wheel is the timer wheel. Use New; the zero value is not ready.
+type Wheel struct {
+	tick float64
+	cur  uint64 // current tick number (floor(now / tick))
+	seq  uint64 // schedule order, breaks deadline ties deterministically
+
+	slots [levels][numSlots][]*Timer
+	// due holds timers scheduled at or before the current tick; they fire
+	// on the next Advance (or during the current one, for reinsertions).
+	due []*Timer
+	// overflowQ holds timers beyond horizonTicks.
+	overflowQ []*Timer
+
+	pending      int // live timers anywhere
+	overflowLive int // live timers in overflowQ
+
+	// Fired counts timers that have run, for instrumentation.
+	Fired uint64
+}
+
+// New builds a wheel with the given tick granularity in virtual seconds
+// (DefaultTick if tick <= 0). The clock starts at zero.
+func New(tick float64) *Wheel {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	return &Wheel{tick: tick}
+}
+
+// Tick returns the wheel granularity in virtual seconds.
+func (w *Wheel) Tick() float64 { return w.tick }
+
+// Now returns the wheel's current virtual time.
+func (w *Wheel) Now() float64 { return float64(w.cur) * w.tick }
+
+// Pending returns the number of live (scheduled, unfired, uncanceled)
+// timers.
+func (w *Wheel) Pending() int { return w.pending }
+
+// Schedule registers fn to run when virtual time reaches at. A deadline
+// at or before the current time fires on the next Advance. The callback
+// receives the effective fire time, which is never before at.
+func (w *Wheel) Schedule(at float64, fn func(now float64)) *Timer {
+	t := &Timer{deadline: at, fn: fn, seq: w.seq, wheel: w}
+	w.seq++
+	w.pending++
+	w.place(t)
+	return t
+}
+
+// tickOf converts a deadline to its tick number, rounding up so a timer
+// never fires before its deadline.
+func (w *Wheel) tickOf(at float64) uint64 {
+	if at <= 0 {
+		return 0
+	}
+	return uint64(math.Ceil(at / w.tick))
+}
+
+// place files a live timer into the structure appropriate for its
+// distance from the current tick.
+func (w *Wheel) place(t *Timer) {
+	tk := w.tickOf(t.deadline)
+	if tk <= w.cur {
+		w.due = append(w.due, t)
+		return
+	}
+	delta := tk - w.cur
+	if delta >= horizonTicks {
+		t.overflow = true
+		w.overflowLive++
+		w.overflowQ = append(w.overflowQ, t)
+		return
+	}
+	level := 0
+	for delta >= numSlots<<(uint(level)*slotBits) {
+		level++
+	}
+	slot := (tk >> (uint(level) * slotBits)) & slotMask
+	w.slots[level][slot] = append(w.slots[level][slot], t)
+}
+
+// Advance moves virtual time forward to 'to', firing every timer whose
+// deadline has been reached, in nondecreasing (deadline, schedule order).
+// Callbacks run synchronously inside Advance and may schedule or cancel
+// other timers, including reinsertion at the current time. Advancing
+// backwards is a no-op.
+func (w *Wheel) Advance(to float64) {
+	target := uint64(to / w.tick)
+	w.fireDue()
+	for w.cur < target {
+		if w.pending == 0 {
+			// Empty wheel: jump the clock.
+			w.cur = target
+			break
+		}
+		if w.pending == w.overflowLive {
+			// Everything live is beyond the horizon: skip empty ticks up
+			// to the next top-level wrap (where overflow is reconsidered)
+			// or the target, whichever is nearer.
+			next := (w.cur/horizonTicks + 1) * horizonTicks
+			if next-1 < target {
+				w.cur = next - 1
+			} else {
+				w.cur = target
+				break
+			}
+		}
+		w.cur++
+		if w.cur&slotMask == 0 {
+			w.cascade()
+		}
+		w.fireSlot()
+		w.fireDue()
+	}
+	w.fireDue()
+}
+
+// cascade redistributes the buckets that the just-incremented tick
+// exposes at each wrapped level, innermost first. At a top-level wrap the
+// overflow list is reconsidered too.
+func (w *Wheel) cascade() {
+	for level := 1; level < levels; level++ {
+		shift := uint(level) * slotBits
+		slot := (w.cur >> shift) & slotMask
+		batch := w.slots[level][slot]
+		w.slots[level][slot] = nil
+		for _, t := range batch {
+			if t.state == statePending {
+				w.place(t)
+			}
+		}
+		if (w.cur>>shift)&slotMask != 0 {
+			break
+		}
+	}
+	if w.cur&(horizonTicks-1) == 0 {
+		batch := w.overflowQ
+		w.overflowQ = nil
+		for _, t := range batch {
+			if t.state != statePending {
+				continue
+			}
+			t.overflow = false
+			w.overflowLive--
+			w.place(t)
+		}
+	}
+}
+
+// fireSlot runs the level-0 bucket for the current tick.
+func (w *Wheel) fireSlot() {
+	slot := w.cur & slotMask
+	batch := w.slots[0][slot]
+	if len(batch) == 0 {
+		return
+	}
+	w.slots[0][slot] = nil
+	w.fireBatch(batch)
+}
+
+// fireDue drains the due list, which callbacks may refill (a reinsertion
+// at or before the current time fires within the same Advance).
+func (w *Wheel) fireDue() {
+	for len(w.due) > 0 {
+		batch := w.due
+		w.due = nil
+		w.fireBatch(batch)
+	}
+}
+
+// fireBatch runs one bucket's live timers in (deadline, seq) order. All
+// deadlines in a bucket fall within one tick, and ticks are processed in
+// order, so sorting here makes global fire order nondecreasing.
+func (w *Wheel) fireBatch(batch []*Timer) {
+	live := batch[:0]
+	for _, t := range batch {
+		if t.state == statePending {
+			live = append(live, t)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].deadline != live[j].deadline {
+			return live[i].deadline < live[j].deadline
+		}
+		return live[i].seq < live[j].seq
+	})
+	now := w.Now()
+	for _, t := range live {
+		if t.state != statePending {
+			continue // canceled by an earlier callback in this batch
+		}
+		t.state = stateFired
+		w.pending--
+		w.Fired++
+		at := t.deadline
+		if at < now {
+			at = now // scheduled in the past: fires "now"
+		}
+		t.fn(at)
+	}
+}

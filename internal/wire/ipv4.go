@@ -96,6 +96,13 @@ func (h *IPv4Header) Marshal(buf []byte) ([]byte, error) {
 
 // Unmarshal parses an IPv4 header from b, validating version, IHL, total
 // length, and the header checksum. It returns the header length consumed.
+//
+// b may be longer than the datagram: link layers pad small frames (an
+// Ethernet payload is at least 46 bytes), so trailing bytes beyond
+// TotalLen are legitimate and ignored — callers bound the datagram with
+// the returned header's TotalLen, never len(b). Only the converse, a
+// buffer holding fewer bytes than TotalLen claims, is rejected: that
+// datagram is truncated and no parse can recover it.
 func (h *IPv4Header) Unmarshal(b []byte) (int, error) {
 	if len(b) < IPv4HeaderLen {
 		return 0, ErrIPv4Truncated
@@ -111,7 +118,13 @@ func (h *IPv4Header) Unmarshal(b []byte) (int, error) {
 		return 0, ErrIPv4Truncated
 	}
 	total := int(getU16(b[2:]))
-	if total < hlen || total > len(b) {
+	if total < hlen {
+		// The datagram cannot be smaller than its own header.
+		return 0, ErrIPv4BadLength
+	}
+	if total > len(b) {
+		// Truncated capture: the buffer holds less than the datagram
+		// claims. (len(b) > total is NOT an error — see above.)
 		return 0, ErrIPv4BadLength
 	}
 	if Checksum(b[:hlen]) != 0 {

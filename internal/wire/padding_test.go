@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// padTo returns frame extended with filler bytes to n, the way a link
+// layer pads a minimum-size frame.
+func padTo(frame []byte, n int, fill byte) []byte {
+	out := append([]byte(nil), frame...)
+	for len(out) < n {
+		out = append(out, fill)
+	}
+	return out
+}
+
+// TestUnmarshalAcceptsLinkLayerPadding: the header parser must treat
+// bytes beyond TotalLen as link padding, not a length error, while still
+// rejecting buffers shorter than TotalLen (truncation).
+func TestUnmarshalAcceptsLinkLayerPadding(t *testing.T) {
+	frame, err := BuildSegment(sampleIP(), sampleTCP(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 40-byte ACK padded to the 60-byte Ethernet minimum, with a
+	// nonzero filler so any parser that overreads TotalLen trips.
+	padded := padTo(frame, 60, 0xAA)
+
+	var h IPv4Header
+	n, err := h.Unmarshal(padded)
+	if err != nil {
+		t.Fatalf("padded frame rejected: %v", err)
+	}
+	if int(h.TotalLen) != len(frame) {
+		t.Fatalf("TotalLen = %d, want %d (padding must not leak in)", h.TotalLen, len(frame))
+	}
+	if n != IPv4HeaderLen {
+		t.Fatalf("header length = %d", n)
+	}
+
+	// Truncation stays fatal: fewer bytes than TotalLen claims.
+	if _, err := h.Unmarshal(frame[:len(frame)-1]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// TestParseSegmentPaddedEqualsUnpadded: a padded frame must parse to the
+// exact same segment as its unpadded original — same payload, same
+// checksum verdict, padding invisible.
+func TestParseSegmentPaddedEqualsUnpadded(t *testing.T) {
+	for _, payload := range [][]byte{nil, []byte("q"), []byte("tiny req")} {
+		frame, err := BuildSegment(sampleIP(), sampleTCP(), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ParseSegment(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseSegment(padTo(frame, 60, 0xFF))
+		if err != nil {
+			t.Fatalf("payload %q: padded frame rejected: %v", payload, err)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("payload %q: padded parse = %q", payload, got.Payload)
+		}
+		if !reflect.DeepEqual(got.TCP, want.TCP) || !reflect.DeepEqual(got.IP, want.IP) {
+			t.Fatalf("payload %q: headers diverge with padding", payload)
+		}
+	}
+}
+
+// TestExtractTuplePaddedFrame: the interrupt-path tuple extraction must
+// also be padding-blind.
+func TestExtractTuplePaddedFrame(t *testing.T) {
+	frame, err := BuildSegment(sampleIP(), sampleTCP(), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExtractTuple(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractTuple(padTo(frame, 60, 0x55))
+	if err != nil {
+		t.Fatalf("padded frame rejected: %v", err)
+	}
+	if got != want {
+		t.Fatalf("tuple = %+v, want %+v", got, want)
+	}
+}
