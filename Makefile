@@ -2,10 +2,11 @@
 # these targets just name the common invocations.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-json fuzz figures clean
+.PHONY: all build vet lint test race bench bench-json fuzz figures clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -13,9 +14,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-# test is the tier-1 gate: vet, the full test suite, and the race
-# detector over the concurrent packages plus the timer-driven engine.
-test: vet
+# lint builds the repository's own analyzer suite (cmd/demuxvet, built on
+# internal/lint) and runs it under the go vet driver. It mechanically
+# enforces the determinism, RCU, and hot-path invariants documented in
+# DESIGN.md §9. examples/ is exempt: the example programs are allowed to
+# read the wall clock and print freely.
+lint: bin/demuxvet
+	$(GO) vet -vettool=$(CURDIR)/bin/demuxvet ./internal/... ./cmd/... .
+
+bin/demuxvet: FORCE
+	$(GO) build -o bin/demuxvet ./cmd/demuxvet
+
+FORCE:
+
+# test is the tier-1 gate: vet, the invariant analyzers, the full test
+# suite, and the race detector over the concurrent packages plus the
+# timer-driven engine.
+test: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer
 
@@ -33,10 +48,10 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -gomaxprocs 32 -workers 384 -rounds 5 -ops 8000 -n 6000 -out BENCH_parallel.json
 
-# Short fuzz pass over the wire parsers (CI-sized; raise -fuzztime locally).
+# Short fuzz pass over the wire parsers (CI-sized; raise FUZZTIME locally).
 fuzz:
-	$(GO) test -fuzz=FuzzParseSegment -fuzztime=30s ./internal/wire
-	$(GO) test -fuzz=FuzzExtractTuple -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzParseSegment -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz=FuzzExtractTuple -fuzztime=$(FUZZTIME) ./internal/wire
 
 figures:
 	$(GO) run ./cmd/figures -fig 4
@@ -46,3 +61,4 @@ figures:
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -88,6 +88,7 @@ func run(w io.Writer, src io.Reader) error {
 
 	counts := make([]uint64, 0, len(perConn))
 	var busiest uint64
+	//demux:orderinvariant max and multiset collection are commutative; counts is sorted below
 	for _, c := range perConn {
 		counts = append(counts, c)
 		if c > busiest {

@@ -102,6 +102,8 @@ func (d *AutoSequent) grow() {
 func (d *AutoSequent) Remove(k Key) bool { return d.inner.Remove(k) }
 
 // Lookup implements Demuxer.
+//
+//demux:hotpath
 func (d *AutoSequent) Lookup(k Key, dir Direction) Result { return d.inner.Lookup(k, dir) }
 
 // NotifySend implements Demuxer.

@@ -43,6 +43,8 @@ func (d *BSDList) Remove(k Key) bool {
 }
 
 // Lookup implements Demuxer: one cache probe, then a linear scan.
+//
+//demux:hotpath
 func (d *BSDList) Lookup(k Key, _ Direction) Result {
 	var r Result
 	if d.cache != nil {

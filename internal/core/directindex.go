@@ -79,6 +79,8 @@ func (d *DirectIndex) Remove(k Key) bool {
 
 // LookupID is the faithful connection-ID path: index the PCB array.
 // It returns a Result with Examined = 1 regardless of population size.
+//
+//demux:hotpath
 func (d *DirectIndex) LookupID(id int) Result {
 	r := Result{Examined: 1}
 	if id >= 0 && id < len(d.slots) && d.slots[id] != nil {
@@ -91,6 +93,8 @@ func (d *DirectIndex) LookupID(id int) Result {
 // Lookup implements Demuxer; see the type comment for the accounting
 // convention. A key with no established connection falls back to the
 // listener list, whose scan is charged at cost like the other algorithms.
+//
+//demux:hotpath
 func (d *DirectIndex) Lookup(k Key, _ Direction) Result {
 	if id, ok := d.byKey[k]; ok {
 		return d.LookupID(id)

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 
 	"tcpdemux/internal/wire"
@@ -60,6 +61,32 @@ func (k Key) Tuple() wire.Tuple {
 // String renders the key as "local <- remote".
 func (k Key) String() string {
 	return fmt.Sprintf("%s:%d <- %s:%d", k.LocalAddr, k.LocalPort, k.RemoteAddr, k.RemotePort)
+}
+
+// Compare orders keys lexicographically by (LocalAddr, LocalPort,
+// RemoteAddr, RemotePort), returning -1, 0, or +1. It defines the
+// canonical table order deterministic Walk implementations sort by, so
+// netstat-style dumps never depend on map iteration order.
+func (k Key) Compare(o Key) int {
+	if c := bytes.Compare(k.LocalAddr[:], o.LocalAddr[:]); c != 0 {
+		return c
+	}
+	if k.LocalPort != o.LocalPort {
+		if k.LocalPort < o.LocalPort {
+			return -1
+		}
+		return 1
+	}
+	if c := bytes.Compare(k.RemoteAddr[:], o.RemoteAddr[:]); c != 0 {
+		return c
+	}
+	if k.RemotePort != o.RemotePort {
+		if k.RemotePort < o.RemotePort {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // zeroAddr is the wildcard address.

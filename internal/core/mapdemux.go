@@ -1,5 +1,7 @@
 package core
 
+import "sort"
+
 // MapDemux is the modern-stack baseline: a single global hash table (Go's
 // built-in map) over exact connection keys, with a separate listener list —
 // essentially the Sequent design taken to its limit of "enough chains that
@@ -51,6 +53,8 @@ func (d *MapDemux) Remove(k Key) bool {
 }
 
 // Lookup implements Demuxer.
+//
+//demux:hotpath
 func (d *MapDemux) Lookup(k Key, _ Direction) Result {
 	if p, ok := d.byKey[k]; ok {
 		r := Result{PCB: p, Examined: 1}
@@ -72,11 +76,18 @@ func (d *MapDemux) Len() int { return len(d.byKey) + d.listen.n }
 // Stats implements Demuxer.
 func (d *MapDemux) Stats() *Stats { return &d.stats }
 
-// Walk implements Demuxer. Map iteration order is randomized by the
-// runtime; callers needing stable output must sort.
+// Walk implements Demuxer. The built-in map iterates in runtime-random
+// order, so Walk sorts the connection keys (Key.Compare) before visiting:
+// dumps and figures that walk the table see one canonical order —
+// connections by key, then listeners in insertion order.
 func (d *MapDemux) Walk(fn func(*PCB) bool) {
-	for _, p := range d.byKey {
-		if !fn(p) {
+	keys := make([]Key, 0, len(d.byKey))
+	for k := range d.byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	for _, k := range keys {
+		if !fn(d.byKey[k]) {
 			return
 		}
 	}

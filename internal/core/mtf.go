@@ -34,6 +34,8 @@ func (d *MTFList) Remove(k Key) bool { return d.pcbs.remove(k) != nil }
 
 // Lookup implements Demuxer: scan, and on an exact match splice the node to
 // the front. The splice is done during the scan so the list is walked once.
+//
+//demux:hotpath
 func (d *MTFList) Lookup(k Key, _ Direction) Result {
 	var r Result
 	var best *PCB

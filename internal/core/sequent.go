@@ -115,6 +115,8 @@ func (d *SequentHash) Remove(k Key) bool {
 // Lookup implements Demuxer: hash to a chain, probe its cache, scan the
 // chain; on a complete miss, scan the listen list for the best wildcard
 // match.
+//
+//demux:hotpath
 func (d *SequentHash) Lookup(k Key, _ Direction) Result {
 	var r Result
 	c := &d.chains[d.chainFor(k)]

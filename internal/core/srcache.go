@@ -49,6 +49,8 @@ func (d *SRCache) Remove(k Key) bool {
 
 // Lookup implements Demuxer: probe the two caches in direction-dependent
 // order, then scan the list. Every cache probe examines one PCB.
+//
+//demux:hotpath
 func (d *SRCache) Lookup(k Key, dir Direction) Result {
 	first, second := d.recv, d.sent
 	if dir == DirAck {

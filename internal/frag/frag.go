@@ -167,6 +167,7 @@ func rebuild(p *pending) ([]byte, error) {
 // returning how many were dropped (RFC 791's reassembly timer).
 func (r *Reassembler) Reap(now, ttl float64) int {
 	n := 0
+	//demux:orderinvariant each entry is tested and deleted independently; the drop count is commutative
 	for k, p := range r.table {
 		if now-p.arrived > ttl {
 			delete(r.table, k)

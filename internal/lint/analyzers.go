@@ -1,0 +1,31 @@
+package lint
+
+// VirtualTimePackages are the packages driven by the simulation's virtual
+// clock: results they produce must be a pure function of configuration
+// and seed, so the wall clock is off limits. internal/parallel is
+// included because its lookup streams and churn schedules must replay
+// deterministically; its one legitimate wall-clock consumer — the
+// throughput measurement itself — carries a //demux:wallclock waiver.
+var VirtualTimePackages = []string{
+	"tcpdemux/internal/sim",
+	"tcpdemux/internal/engine",
+	"tcpdemux/internal/timer",
+	"tcpdemux/internal/tpca",
+	"tcpdemux/internal/cachesim",
+	"tcpdemux/internal/parallel",
+}
+
+// Default returns the demuxvet suite with the repository's policy, in the
+// order diagnostics should be attributed. mapiter, seededrand,
+// atomicfield, and hotalloc apply to every package the driver feeds in
+// (examples/ is exempt by path in the driver; the marker-driven analyzers
+// are no-ops where nothing is marked).
+func Default() []*Analyzer {
+	return []*Analyzer{
+		VirtualTime(PathPrefixFilter(VirtualTimePackages...)),
+		SeededRand(),
+		MapIter(nil),
+		AtomicField(),
+		HotAlloc(),
+	}
+}

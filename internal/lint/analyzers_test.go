@@ -1,0 +1,59 @@
+package lint
+
+import "testing"
+
+func TestVirtualTimeFixture(t *testing.T) {
+	runFixture(t, VirtualTime(PathPrefixFilter("vtime")), "vtime")
+}
+
+// TestVirtualTimeFilter proves the package filter keeps the analyzer out
+// of packages that are allowed to read the wall clock.
+func TestVirtualTimeFilter(t *testing.T) {
+	runSilent(t, VirtualTime(PathPrefixFilter("tcpdemux/internal/sim")), "vtime")
+}
+
+func TestSeededRandFixture(t *testing.T) {
+	runFixture(t, SeededRand(), "srand")
+}
+
+func TestMapIterFixture(t *testing.T) {
+	runFixture(t, MapIter(nil), "miter")
+}
+
+func TestMapIterFilter(t *testing.T) {
+	runSilent(t, MapIter(PathPrefixFilter("tcpdemux/internal/core")), "miter")
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	runFixture(t, AtomicField(), "afield")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, HotAlloc(), "halloc")
+}
+
+// TestHotAllocSilentOffHotpath runs hotalloc on the allocation-heavy
+// mapiter fixture, which has no //demux:hotpath markers: no diagnostics.
+func TestHotAllocSilentOffHotpath(t *testing.T) {
+	runSilent(t, HotAlloc(), "miter")
+}
+
+func TestPathPrefixFilter(t *testing.T) {
+	f := PathPrefixFilter("tcpdemux/internal/sim", "tcpdemux/internal/engine")
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"tcpdemux/internal/sim", true},
+		{"tcpdemux/internal/sim/sub", true},
+		{"tcpdemux/internal/sim [tcpdemux/internal/sim.test]", true},
+		{"tcpdemux/internal/simulator", false},
+		{"tcpdemux/internal/engine", true},
+		{"tcpdemux/internal/core", false},
+	}
+	for _, c := range cases {
+		if got := f(c.path); got != c.want {
+			t.Errorf("PathPrefixFilter(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

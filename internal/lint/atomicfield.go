@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicMethods are the method names of the sync/atomic wrapper types
+// (atomic.Pointer, atomic.Uint64, ...) that constitute a legal touch of a
+// marked field.
+var atomicMethods = map[string]bool{
+	"Load":           true,
+	"Store":          true,
+	"Add":            true,
+	"And":            true,
+	"Or":             true,
+	"Swap":           true,
+	"CompareAndSwap": true,
+}
+
+// AtomicField returns the atomicfield analyzer, the guard on the RCU
+// publication protocol: a struct field marked //demux:atomic may be
+// touched only through atomic operations — a method call on a sync/atomic
+// wrapper type (f.Load(), f.Store(x), ...) or its address passed to an
+// atomic function (atomic.AddUint64(&s.f, 1)). Any plain read, write,
+// increment, or copy of the field is flagged: one non-atomic access to a
+// published chain pointer or cache word would break the lock-free reader
+// contract silently. A writer-side access already serialized by the
+// structure's lock can be waived with //demux:atomicguarded <reason>.
+//
+// Marked fields are unexported, so in-package analysis sees every access.
+func AtomicField() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicfield",
+		Doc:  "require atomic access to fields marked //demux:atomic",
+	}
+	a.Run = func(pass *Pass) error {
+		marked := make(map[types.Object]bool)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if !fieldIsAtomic(field) {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pass.Info.Defs[name]; obj != nil {
+							marked[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		if len(marked) == 0 {
+			return nil
+		}
+		for _, f := range pass.Files {
+			inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pass.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal || !marked[s.Obj()] {
+					return true
+				}
+				if atomicAccess(sel, stack) {
+					return true
+				}
+				if !pass.waived(sel.Pos(), "atomicguarded") {
+					pass.Reportf(sel.Pos(), "field %s is marked //demux:atomic; access it with atomic operations (Load/Store/Add/Swap/CompareAndSwap or &%s passed to sync/atomic), or waive a lock-guarded access with //demux:atomicguarded <reason>", s.Obj().Name(), s.Obj().Name())
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// atomicAccess reports whether the marked-field selector (last node of
+// stack) appears in a context that preserves the atomic protocol: as the
+// receiver of an atomic-wrapper method call, or with its address taken
+// (the pointer then flows into sync/atomic functions or Load/Store
+// helpers, which enforce atomicity themselves).
+func atomicAccess(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch p := stack[len(stack)-2].(type) {
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.SelectorExpr:
+		if p.X != sel || !atomicMethods[p.Sel.Name] {
+			return false
+		}
+		if len(stack) < 3 {
+			return false
+		}
+		call, ok := stack[len(stack)-3].(*ast.CallExpr)
+		return ok && call.Fun == p
+	}
+	return false
+}

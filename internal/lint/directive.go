@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces every demuxvet control comment. Two kinds
+// exist: markers, which opt a declaration into extra checking
+// (//demux:hotpath on a function, //demux:atomic on a struct field), and
+// waivers, which suppress one finding with a written reason
+// (//demux:wallclock, //demux:globalrand, //demux:orderinvariant,
+// //demux:atomicguarded, //demux:allowalloc).
+const directivePrefix = "//demux:"
+
+// A directive is one parsed //demux:<name> <reason> comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+}
+
+// directives indexes a package's demux directives by file and line so
+// analyzers can ask "is this node waived?" in O(1).
+type directives struct {
+	byLine map[string]map[int][]directive
+}
+
+// parseDirectives scans every comment of every file for demux directives.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{byLine: make(map[string]map[int][]directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				m := d.byLine[p.Filename]
+				if m == nil {
+					m = make(map[int][]directive)
+					d.byLine[p.Filename] = m
+				}
+				m[p.Line] = append(m[p.Line], dir)
+			}
+		}
+	}
+	return d
+}
+
+// parseDirective decodes one comment as a demux directive.
+func parseDirective(c *ast.Comment) (directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, directivePrefix)
+	if !ok {
+		return directive{}, false
+	}
+	name, reason, _ := strings.Cut(text, " ")
+	return directive{name: name, reason: strings.TrimSpace(reason), pos: c.Pos()}, name != ""
+}
+
+// at returns the directive of the given name covering pos: on pos's own
+// line (a trailing comment) or on the line immediately above it.
+func (d *directives) at(pos token.Position, name string) *directive {
+	m := d.byLine[pos.Filename]
+	if m == nil {
+		return nil
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		ds := m[line]
+		for i := range ds {
+			if ds[i].name == name {
+				return &ds[i]
+			}
+		}
+	}
+	return nil
+}
+
+// commentGroupHas reports whether any comment in the group is the named
+// demux directive. Used for markers attached to declarations, where the
+// directive may be any line of the doc comment.
+func commentGroupHas(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if dir, ok := parseDirective(c); ok && dir.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// funcIsHotpath reports whether fn carries the //demux:hotpath marker.
+func funcIsHotpath(fn *ast.FuncDecl) bool { return commentGroupHas(fn.Doc, "hotpath") }
+
+// fieldIsAtomic reports whether a struct field carries the //demux:atomic
+// marker, in its doc comment or as a trailing comment.
+func fieldIsAtomic(f *ast.Field) bool {
+	return commentGroupHas(f.Doc, "atomic") || commentGroupHas(f.Comment, "atomic")
+}

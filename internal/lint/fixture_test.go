@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// want is one expectation parsed from a fixture's trailing
+// `// want `+"`regex`"+` comment, analysistest-style.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+// loadFixture loads one GOPATH-style fixture package from testdata/src.
+func loadFixture(t *testing.T, pkg string) *Package {
+	t.Helper()
+	loader := NewLoader(filepath.Join("testdata", "src"), "")
+	p, err := loader.Load(pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	return p
+}
+
+// parseWants collects the `// want` expectations of a loaded fixture.
+func parseWants(t *testing.T, p *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !isWantComment(c) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(c.Text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: // want comment without a `pattern`", pos)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func isWantComment(c *ast.Comment) bool {
+	const prefix = "// want "
+	return len(c.Text) > len(prefix) && c.Text[:len(prefix)] == prefix
+}
+
+// runFixture runs one analyzer over a fixture package and checks its
+// diagnostics against the package's // want expectations: every expected
+// pattern must fire on its line, and nothing else may fire.
+func runFixture(t *testing.T, a *Analyzer, pkg string) {
+	t.Helper()
+	p := loadFixture(t, pkg)
+	diags, err := Run(p, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+	wants := parseWants(t, p)
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unconsumed expectation matching the diagnostic.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// runSilent asserts an analyzer reports nothing on a fixture, used to
+// prove package filters keep analyzers out of unrestricted packages.
+func runSilent(t *testing.T, a *Analyzer, pkg string) {
+	t.Helper()
+	p := loadFixture(t, pkg)
+	diags, err := Run(p, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+	for _, d := range diags {
+		t.Errorf("expected silence from %s on %s, got: %s", a.Name, pkg, d)
+	}
+}

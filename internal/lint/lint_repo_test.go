@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs the default analyzer suite over every package in
+// this module and asserts zero findings: the invariants the analyzers
+// enforce must actually hold in the tree that ships them.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "tcpdemux")
+	for _, pkg := range modulePackages(t, root) {
+		p, err := loader.Load(pkg)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkg, err)
+		}
+		diags, err := Run(p, Default())
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// modulePackages lists the import paths of every buildable package under
+// root, skipping testdata, examples, and build-output directories — the
+// same surface the demuxvet command covers by default.
+func modulePackages(t *testing.T, root string) []string {
+	t.Helper()
+	var pkgs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "examples" || name == "bin" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				pkgs = append(pkgs, "tcpdemux")
+			} else {
+				pkgs = append(pkgs, "tcpdemux/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(pkgs)
+	if len(pkgs) == 0 {
+		t.Fatal("found no packages under the module root")
+	}
+	return pkgs
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}

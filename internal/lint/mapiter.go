@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter returns the mapiter analyzer: Go randomizes map iteration
+// order, so a `range` over a map in a package whose output feeds results
+// or figures is a nondeterminism hazard. A range is accepted when it is
+// provably order-insensitive:
+//
+//   - it binds neither key nor value (`for range m` — every iteration is
+//     indistinguishable), or
+//   - its body only collects keys into a slice that the same function
+//     later sorts (the collect-then-sort idiom of registry listings), or
+//   - it carries a //demux:orderinvariant <reason> waiver asserting the
+//     body is a commutative accumulation.
+func MapIter(restrict PackageFilter) *Analyzer {
+	a := &Analyzer{
+		Name: "mapiter",
+		Doc:  "flag order-sensitive map iteration in result-feeding packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if restrict != nil && !restrict(pass.Pkg.Path()) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				if blankOnly(rs.Key) && blankOnly(rs.Value) {
+					return true
+				}
+				if collectsThenSorts(pass, rs, stack) {
+					return true
+				}
+				if !pass.waived(rs.Pos(), "orderinvariant") {
+					pass.Reportf(rs.Pos(), "map iteration order is nondeterministic; sort the keys, or waive a commutative accumulation with //demux:orderinvariant <reason>")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// blankOnly reports whether a range binding is absent or the blank
+// identifier.
+func blankOnly(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// collectsThenSorts recognizes the one map-range idiom that is
+// deterministic by construction: a body that is exactly
+//
+//	s = append(s, k)
+//
+// appending the range key to a slice, where the enclosing function also
+// passes s to a sort or slices call. Anything fancier must sort
+// explicitly or carry a waiver.
+func collectsThenSorts(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || !blankOnly(rs.Value) {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	arg1, ok1 := call.Args[1].(*ast.Ident)
+	if !ok || !ok1 ||
+		useOf(pass.Info, arg0) != useOf(pass.Info, dst) ||
+		useOf(pass.Info, arg1) != useOf(pass.Info, key) {
+		return false
+	}
+	fnBody := enclosingFuncBody(stack)
+	if fnBody == nil {
+		return false
+	}
+	dstObj := useOf(pass.Info, dst)
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := useOf(pass.Info, pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && useOf(pass.Info, arg) == dstObj {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// enclosingFuncBody returns the body of the innermost function literal or
+// declaration on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

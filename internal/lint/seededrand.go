@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand and math/rand/v2 package-level
+// functions that build an explicitly seeded source or generator — the
+// injected-RNG discipline internal/rng exists for. Everything else at
+// package level draws from the process-global source, whose sequence is
+// not reproducible across runs or releases.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// SeededRand returns the seededrand analyzer: every experiment must be
+// replayable from its recorded seed, so the process-global math/rand
+// source (rand.Intn, rand.Float64, rand.Shuffle, ...) is forbidden
+// everywhere — draw from an injected internal/rng source instead.
+// Constructing explicit sources (rand.New, rand.NewSource) and using
+// their methods is fine. //demux:globalrand <reason> waives.
+func SeededRand() *Analyzer {
+	a := &Analyzer{
+		Name: "seededrand",
+		Doc:  "forbid the global math/rand source; require an injected, seeded RNG",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := useOf(pass.Info, id).(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+					return true
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				if !pass.waived(id.Pos(), "globalrand") {
+					pass.Reportf(id.Pos(), "%s.%s draws from the global math/rand source; inject a seeded source (internal/rng) so runs replay from their seed, or waive with //demux:globalrand <reason>", fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

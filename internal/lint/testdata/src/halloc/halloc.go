@@ -1,0 +1,57 @@
+// Package halloc is the hotalloc analyzer fixture: functions marked
+// //demux:hotpath must not allocate.
+package halloc
+
+import "fmt"
+
+type item struct{ n int }
+
+func sink(v any) { _ = v }
+
+//demux:hotpath
+func bad(xs []int, s string) string {
+	fmt.Println(len(xs))           // want `fmt\.Println allocates`
+	b := []byte(s)                 // want `conversion between string and byte/rune slice`
+	xs = append(xs, 1)             // want `append may grow`
+	m := make([]int, 4)            // want `make allocates`
+	p := new(item)                 // want `new allocates`
+	q := &item{n: 1}               // want `address of composite literal escapes`
+	var i interface{} = item{n: 2} // want `boxed into an interface`
+	sink(item{n: 3})               // want `boxed into an interface`
+	_, _, _, _ = m, p, q, i
+	return string(b) // want `conversion between string and byte/rune slice`
+}
+
+//demux:hotpath
+func retBox() any {
+	return item{n: 4} // want `boxed into an interface`
+}
+
+//demux:hotpath
+func closure(f func()) func() {
+	return func() { f() } // want `func literal allocates a closure`
+}
+
+//demux:hotpath
+func waived(out []int) []int {
+	if cap(out) < 8 {
+		out = make([]int, 8) //demux:allowalloc fixture: amortized caller-owned buffer growth
+	}
+	return out
+}
+
+//demux:hotpath
+func clean(c *item, xs []int) int {
+	total := c.n
+	for _, x := range xs {
+		total += x
+	}
+	v := item{n: total} // composite literal to a concrete local: no boxing
+	return v.n
+}
+
+// cold is unmarked: allocations are fine off the hot path.
+func cold(xs []int) []int {
+	fmt.Println(len(xs))
+	return append(xs, 2)
+}

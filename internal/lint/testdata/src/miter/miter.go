@@ -1,0 +1,78 @@
+// Package miter is the mapiter analyzer fixture: ranging over a map in a
+// result-feeding package is flagged unless the loop is provably
+// order-insensitive or carries a waiver.
+package miter
+
+import "sort"
+
+func bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+func badKeysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func waived(m map[string]int) int {
+	total := 0
+	//demux:orderinvariant fixture: summation is commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func reasonless(m map[string]int) int {
+	total := 0
+	//demux:orderinvariant
+	for _, v := range m { // want `waiver needs a reason`
+		total += v
+	}
+	return total
+}
+
+// collectThenSort is the one idiom accepted without a waiver: the body
+// only gathers keys and the function sorts them before use.
+func collectThenSort(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func collectThenSortSlice(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// keyless iteration binds nothing, so every iteration is identical.
+func keyless(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// slices and channels are not maps; never flagged.
+func overSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

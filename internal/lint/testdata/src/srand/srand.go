@@ -1,0 +1,34 @@
+// Package srand is the seededrand analyzer fixture: package-level
+// math/rand draws come from the process-global source and are forbidden;
+// explicitly constructed sources are fine.
+package srand
+
+import (
+	"math/rand"
+	v2 "math/rand/v2"
+)
+
+func bad() int {
+	rand.Seed(1)            // want `global math/rand source`
+	_ = rand.Float64()      // want `global math/rand source`
+	_ = rand.Perm(3)        // want `global math/rand source`
+	_ = v2.IntN(4)          // want `global math/rand source`
+	shuffle := rand.Shuffle // want `global math/rand source`
+	_ = shuffle
+	return rand.Intn(4) // want `global math/rand source`
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	return r.Intn(4) + int(z.Uint64())
+}
+
+func seededV2() uint64 {
+	r := v2.New(v2.NewPCG(1, 2))
+	return r.Uint64()
+}
+
+func waived() float64 {
+	return rand.Float64() //demux:globalrand fixture: demonstrating the waiver
+}

@@ -1,0 +1,39 @@
+// Package vtime is the virtualtime analyzer fixture: it stands in for a
+// virtual-clock package, so every wall-clock read must be flagged unless
+// waived.
+package vtime
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(1)         // want `time\.Sleep reads the wall clock`
+	_ = time.After(1)     // want `time\.After reads the wall clock`
+	_ = time.Since(now()) // want `time\.Since reads the wall clock`
+	f := time.Now         // want `time\.Now reads the wall clock`
+	_ = time.NewTicker(1) // want `time\.NewTicker reads the wall clock`
+	return f()
+}
+
+func now() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func waivedAbove() time.Time {
+	//demux:wallclock fixture: measuring real elapsed time
+	return time.Now()
+}
+
+func waivedTrailing() {
+	time.Sleep(1) //demux:wallclock fixture: real sleep wanted here
+}
+
+func reasonless() {
+	//demux:wallclock
+	time.Sleep(1) // want `waiver needs a reason`
+}
+
+// durationMath shows what stays legal: the time types and arithmetic on
+// them never read the clock.
+func durationMath(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}

@@ -106,6 +106,8 @@ func (l *Locked) Remove(k core.Key) bool {
 }
 
 // Lookup implements ConcurrentDemuxer.
+//
+//demux:hotpath
 func (l *Locked) Lookup(k core.Key, dir core.Direction) core.Result {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -135,9 +137,11 @@ func (l *Locked) Snapshot() core.Stats {
 
 // LookupBatch implements ConcurrentDemuxer: the whole train is resolved
 // under one lock acquisition — the only amortization a global lock offers.
+//
+//demux:hotpath
 func (l *Locked) LookupBatch(keys []core.Key, dir core.Direction, out []core.Result) []core.Result {
 	if cap(out) < len(keys) {
-		out = make([]core.Result, len(keys))
+		out = make([]core.Result, len(keys)) //demux:allowalloc amortized: grows the caller-owned result buffer once, then reused across trains
 	}
 	out = out[:len(keys)]
 	l.mu.Lock()
@@ -172,8 +176,8 @@ type ShardedSequent struct {
 	listen   []*core.PCB
 
 	// misses and wildcardHits are updated on the (rare) listener path.
-	misses       atomic.Uint64
-	wildcardHits atomic.Uint64
+	misses       atomic.Uint64 //demux:atomic
+	wildcardHits atomic.Uint64 //demux:atomic
 }
 
 // shard is one chain plus its lock and statistics. The stats padding is a
@@ -274,6 +278,8 @@ func (d *ShardedSequent) Remove(k core.Key) bool {
 
 // Lookup implements ConcurrentDemuxer: probe the chain cache, scan the
 // chain, and only on a complete miss consult the listener table.
+//
+//demux:hotpath
 func (d *ShardedSequent) Lookup(k core.Key, _ core.Direction) core.Result {
 	s := d.chainFor(k)
 	var r core.Result
@@ -323,6 +329,8 @@ func (d *ShardedSequent) Lookup(k core.Key, _ core.Direction) core.Result {
 
 // record updates the shard's counters; the caller holds s.mu. The listener
 // portion of a miss's examinations is accounted globally, not per shard.
+//
+//demux:hotpath
 func (s *shard) record(r core.Result) {
 	s.lookups++
 	s.examined += uint64(r.Examined)
@@ -338,9 +346,11 @@ func (s *shard) record(r core.Result) {
 // chain lock: per-chain locking already confines contention, and grouping
 // a train by chain would buy only lock-coalescing the rcu discipline gets
 // for free — the head-to-head benches keep that contrast visible.
+//
+//demux:hotpath
 func (d *ShardedSequent) LookupBatch(keys []core.Key, dir core.Direction, out []core.Result) []core.Result {
 	if cap(out) < len(keys) {
-		out = make([]core.Result, len(keys))
+		out = make([]core.Result, len(keys)) //demux:allowalloc amortized: grows the caller-owned result buffer once, then reused across trains
 	}
 	out = out[:len(keys)]
 	for i, k := range keys {

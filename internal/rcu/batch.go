@@ -65,9 +65,11 @@ func (d *Demuxer) release(s *batchScratch) {
 //
 // out is reused when it has capacity; the returned slice has len(keys)
 // results. Like Lookup, the call takes no locks.
+//
+//demux:hotpath
 func (d *Demuxer) LookupBatch(keys []core.Key, dir core.Direction, out []core.Result) []core.Result {
 	if cap(out) < len(keys) {
-		out = make([]core.Result, len(keys))
+		out = make([]core.Result, len(keys)) //demux:allowalloc amortized: grows the caller-owned result buffer once, then reused across trains
 	}
 	out = out[:len(keys)]
 	if len(keys) == 0 {
@@ -86,7 +88,7 @@ func (d *Demuxer) LookupBatch(keys []core.Key, dir core.Direction, out []core.Re
 		s.next[i] = -1
 		if s.headOf[c] < 0 {
 			s.headOf[c] = int32(i)
-			s.touched = append(s.touched, c)
+			s.touched = append(s.touched, c) //demux:allowalloc touched reuses pooled scratch capacity; it grows only on the first batch per size class
 		} else {
 			s.next[s.tailOf[c]] = int32(i)
 		}
@@ -166,6 +168,8 @@ func (d *Demuxer) LookupBatch(keys []core.Key, dir core.Direction, out []core.Re
 
 // accumulate folds one result into the batch-local statistics with the
 // classification rules of core.Stats.
+//
+//demux:hotpath
 func accumulate(st *core.Stats, r core.Result) {
 	st.Lookups++
 	st.Examined += uint64(r.Examined)

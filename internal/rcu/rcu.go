@@ -83,10 +83,12 @@ type entry struct {
 type chain struct {
 	// pcbs points at the chain's current immutable entry slice
 	// (front = most recently inserted); nil means empty.
+	//demux:atomic
 	pcbs  atomic.Pointer[[]entry]
-	cache atomic.Pointer[core.PCB]
+	cache atomic.Pointer[core.PCB] //demux:atomic
 	// epoch counts removals on this chain. Readers snapshot it before a
 	// chain scan and retract their cache store if it moved — see Lookup.
+	//demux:atomic
 	epoch atomic.Uint64
 	mu    sync.Mutex
 
@@ -108,11 +110,11 @@ type Demuxer struct {
 	// with its own writer lock. Listeners have no one-entry cache (they
 	// are consulted only after an exact-match miss).
 	listenMu sync.Mutex
-	listen   atomic.Pointer[[]entry]
+	listen   atomic.Pointer[[]entry] //demux:atomic
 
 	// conns and listeners track Len without locking every chain.
-	conns     atomic.Int64
-	listeners atomic.Int64
+	conns     atomic.Int64 //demux:atomic
+	listeners atomic.Int64 //demux:atomic
 
 	stats stripes
 
@@ -146,6 +148,8 @@ func (d *Demuxer) NumChains() int { return len(d.chains) }
 
 // hashOf computes an exact key's full hash, used both for chain selection
 // and as the entry fingerprint.
+//
+//demux:hotpath
 func (d *Demuxer) hashOf(k core.Key) uint32 {
 	if d.mult {
 		return hashfn.Multiplicative{}.Hash(k.Tuple())
@@ -267,6 +271,8 @@ func (d *Demuxer) Remove(k core.Key) bool {
 // lock-free: probe the chain's one-entry cache, scan the immutable chain
 // snapshot, and only on a complete miss consult the listener snapshot.
 // Examination accounting matches core.SequentHash exactly.
+//
+//demux:hotpath
 func (d *Demuxer) Lookup(k core.Key, _ core.Direction) core.Result {
 	h := d.hashOf(k)
 	c := &d.chains[hashfn.ChainIndex(h, len(d.chains))]

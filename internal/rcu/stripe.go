@@ -20,19 +20,19 @@ import (
 // 64-bit spill counters long before either field can wrap. The remaining
 // counters are bumped only on their (rarer) paths.
 type stripeSlot struct {
-	packed        atomic.Uint64
-	spillLookups  atomic.Uint64
-	spillExamined atomic.Uint64
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	wildcardHits  atomic.Uint64
-	maxExamined   atomic.Int64
+	packed        atomic.Uint64 //demux:atomic
+	spillLookups  atomic.Uint64 //demux:atomic
+	spillExamined atomic.Uint64 //demux:atomic
+	hits          atomic.Uint64 //demux:atomic
+	misses        atomic.Uint64 //demux:atomic
+	wildcardHits  atomic.Uint64 //demux:atomic
+	maxExamined   atomic.Int64  //demux:atomic
 
 	_ [72]byte
 }
 
 const (
-	packShift = 40            // lookups above this bit, examined below
+	packShift = 40 // lookups above this bit, examined below
 	packMask  = 1<<packShift - 1
 	// drainAt triggers a drain once the packed lookup count reaches 2^22,
 	// a factor 4 before the 24-bit field wraps and (at <= 2^18 mean
@@ -42,6 +42,8 @@ const (
 )
 
 // add folds one batch of (lookups, examined) with a single atomic add.
+//
+//demux:hotpath
 func (sl *stripeSlot) add(lookups, examined uint64) {
 	v := sl.packed.Add(lookups<<packShift + examined)
 	if v >= drainAt {
@@ -82,6 +84,8 @@ func (s *stripes) init() {
 // moves. The uintptr is used only as hash input, never converted back to
 // a pointer. Correctness never depends on the spreading — any goroutine
 // may fold into any slot — only contention does.
+//
+//demux:hotpath
 func (s *stripes) slot() *stripeSlot {
 	var marker byte
 	p := uintptr(unsafe.Pointer(&marker))
@@ -91,6 +95,8 @@ func (s *stripes) slot() *stripeSlot {
 
 // record folds one lookup result into the calling goroutine's stripe with
 // the same classification rules as core.Stats.record.
+//
+//demux:hotpath
 func (s *stripes) record(r core.Result) {
 	sl := s.slot()
 	sl.add(1, uint64(r.Examined))
@@ -109,6 +115,8 @@ func (s *stripes) record(r core.Result) {
 // recordBatch folds a pre-accumulated batch of lookups in one shot — the
 // batched lookup path counts locally and pays these atomic adds once per
 // train instead of once per packet.
+//
+//demux:hotpath
 func (s *stripes) recordBatch(st core.Stats) {
 	if st.Lookups == 0 {
 		return
@@ -128,6 +136,8 @@ func (s *stripes) recordBatch(st core.Stats) {
 }
 
 // bumpMax raises the slot's running maximum to at least v.
+//
+//demux:hotpath
 func (sl *stripeSlot) bumpMax(v int64) {
 	for {
 		cur := sl.maxExamined.Load()
