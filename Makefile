@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race bench bench-json fuzz figures clean
+.PHONY: all build vet lint test race chaos bench bench-json fuzz figures clean
 
 all: build vet lint test
 
@@ -37,6 +37,13 @@ test: vet lint
 race:
 	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer
 
+# chaos runs the adversarial conformance suite under the race detector:
+# collision attacks with online rekey (overload), scripted link faults
+# (chaos), and the SYN-cookie flood tests in the engine.
+chaos:
+	$(GO) test -race -count=1 ./internal/overload ./internal/chaos
+	$(GO) test -race -count=1 -run 'SynCookies|SynFlood|Adversarial' ./internal/engine ./cmd/demuxsim
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -48,10 +55,12 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -gomaxprocs 32 -workers 384 -rounds 5 -ops 8000 -n 6000 -out BENCH_parallel.json
 
-# Short fuzz pass over the wire parsers (CI-sized; raise FUZZTIME locally).
+# Short fuzz pass over the wire parsers and the full receive path
+# (CI-sized; raise FUZZTIME locally).
 fuzz:
 	$(GO) test -fuzz=FuzzParseSegment -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz=FuzzExtractTuple -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz=FuzzDeliver -fuzztime=$(FUZZTIME) ./internal/engine
 
 figures:
 	$(GO) run ./cmd/figures -fig 4

@@ -6,14 +6,23 @@
 //
 // Usage:
 //
-//	demuxsim [-workload tpca|trains|polling|churn|parallel|lossy]
+//	demuxsim [-workload tpca|trains|polling|churn|parallel|lossy|adversarial]
 //	         [-algos bsd,mtf,sr,sequent] [-n users] [-r response] [-d rtt]
 //	         [-chains n] [-txns perUser] [-seed n] [-drop p] [-dup p]
+//	         [-attack n] [-flood n] [-syncookies=false]
 //
 // The lossy workload runs full client/server TCP exchanges through the
 // engine's virtual-time lifecycle timers over a seeded drop/duplicate
 // wire (-drop, -dup), reporting retransmission and recovery behaviour
 // per demultiplexer.
+//
+// The adversarial workload mounts an algorithmic-complexity attack: it
+// synthesizes -attack tuples that all collide under the unkeyed -hash
+// function, measures the PCBs examined per packet on an undefended table
+// against the overload-guarded (keyed hash + online rekey) variants, then
+// fires a -flood spoofed tuple-collision SYN flood at a full listener
+// backlog and reports whether a legitimate client still connects
+// (-syncookies toggles the stateless handshake defense).
 //
 // The parallel workload replays a recorded TPC/A inbound stream through
 // the concurrent locking disciplines (-algos then names disciplines, e.g.
@@ -31,15 +40,18 @@ import (
 	"text/tabwriter"
 
 	"tcpdemux/internal/analytic"
+	"tcpdemux/internal/chaos"
 	"tcpdemux/internal/churn"
 	"tcpdemux/internal/core"
 	"tcpdemux/internal/engine"
 	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/overload"
 	"tcpdemux/internal/parallel"
 	"tcpdemux/internal/rng"
 	"tcpdemux/internal/tpca"
 	"tcpdemux/internal/trace"
 	"tcpdemux/internal/trains"
+	"tcpdemux/internal/wire"
 )
 
 func main() {
@@ -62,6 +74,9 @@ func main() {
 		replay   = flag.String("replay", "", "replay a recorded trace file through the algorithms instead of simulating")
 		drop     = flag.Float64("drop", 0.2, "lossy workload: frame drop probability")
 		dup      = flag.Float64("dup", 0.05, "lossy workload: frame duplication probability")
+		attack   = flag.Int("attack", 4000, "adversarial workload: size of the colliding-tuple attack population")
+		floodN   = flag.Int("flood", 5000, "adversarial workload: spoofed SYNs fired at the listener")
+		cookies  = flag.Bool("syncookies", true, "adversarial workload: enable SYN cookies on the flooded listener")
 	)
 	flag.Parse()
 	if *list {
@@ -79,6 +94,8 @@ func main() {
 		err = runParallel(os.Stdout, algoList, *users, *txns, *chains, *seed, *workers, *ops, *batch, *hash)
 	} else if *workload == "lossy" {
 		err = runLossy(os.Stdout, algoList, *users, *txns, *chains, *seed, *drop, *dup, *hash)
+	} else if *workload == "adversarial" {
+		err = runAdversarial(os.Stdout, *chains, *seed, *hash, *attack, *floodN, *cookies)
 	} else {
 		err = run(os.Stdout, *workload, algoList, *users, *resp, *rtt, *chains, *txns, *seed, *record, *hash, *think)
 	}
@@ -237,6 +254,165 @@ func runLossy(out io.Writer, algos []string, clients, txns, chains int, seed uin
 			res.Retransmits, res.Aborts, res.VirtualTime,
 			st.MeanExamined(), st.HitRate()*100)
 	}
+	return nil
+}
+
+// advDemux is what the adversarial workload needs from a table under
+// attack; the undefended SequentHash gets no-op migration methods.
+type advDemux interface {
+	Insert(*core.PCB) error
+	Lookup(core.Key, core.Direction) core.Result
+	Migrating() bool
+	Advance(int)
+	NumChains() int
+}
+
+// plainSequent adapts the undefended table to advDemux.
+type plainSequent struct{ *core.SequentHash }
+
+func (plainSequent) Migrating() bool { return false }
+func (plainSequent) Advance(int)     {}
+
+// runAdversarial mounts the collision attack against an undefended table
+// and the overload-guarded variants, then the spoofed SYN flood against a
+// cookie-armed listener. Part 1's figure of merit is the mean PCBs
+// examined per lookup before and under attack; part 2's is whether a
+// legitimate client completes its handshake mid-flood.
+func runAdversarial(out io.Writer, chains int, seed uint64, hashName string, attackN, floodN int, cookies bool) error {
+	victim, err := hashfn.ByName(hashName)
+	if err != nil {
+		return err
+	}
+	const benignN = 400
+	benign := hashfn.RandomClients(benignN, seed^0xbe9)
+	popN := attackN
+	if floodN > popN {
+		popN = floodN
+	}
+	population, err := hashfn.AttackPopulation(victim, chains, int(seed%uint64(chains)), popN)
+	if err != nil {
+		return err
+	}
+	attack := population[:attackN]
+
+	fmt.Fprintf(out, "workload=adversarial hash=%s chains=%d attack=%d benign=%d flood=%d syncookies=%v\n\n",
+		hashName, chains, attackN, benignN, floodN, cookies)
+	fmt.Fprintf(out, "[1] algorithmic-complexity attack: %d tuples colliding under %s\n\n", attackN, hashName)
+
+	type advTable struct {
+		name   string
+		d      advDemux
+		stats  func() core.Stats
+		rekeys func() int
+	}
+	und := plainSequent{core.NewSequentHash(chains, victim)}
+	g := overload.NewGuarded(chains, victim, seed, overload.Config{})
+	rg := overload.NewRCUGuarded(chains, victim, seed, overload.Config{})
+	tables := []advTable{
+		{"sequent (undefended)", und, func() core.Stats { return *und.Stats() }, func() int { return 0 }},
+		{"guarded-sequent", g, func() core.Stats { return *g.Stats() }, func() int { return g.Rekeys }},
+		{"rcu-guarded", rg, func() core.Stats { return rg.Snapshot() }, func() int { return rg.Rekeys }},
+	}
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tbenign-mean\tattacked-mean\tworst-lookup\trekeys\tchains")
+	for _, tb := range tables {
+		if err := tb.d.Insert(core.NewListenPCB(core.ListenKey(hashfn.ServerEndpoint.Addr, hashfn.ServerEndpoint.Port))); err != nil {
+			return err
+		}
+		benignKeys := make([]core.Key, len(benign))
+		for i, tu := range benign {
+			benignKeys[i] = core.KeyFromTuple(tu)
+			if err := tb.d.Insert(core.NewPCB(benignKeys[i])); err != nil {
+				return err
+			}
+		}
+		meanOver := func(keys []core.Key) float64 {
+			before := tb.stats()
+			for _, k := range keys {
+				tb.d.Lookup(k, core.DirData)
+			}
+			after := tb.stats()
+			if after.Lookups == before.Lookups {
+				return 0
+			}
+			return float64(after.Examined-before.Examined) / float64(after.Lookups-before.Lookups)
+		}
+		chainsBefore := tb.d.NumChains()
+		benignMean := meanOver(benignKeys)
+		allKeys := benignKeys
+		for _, tu := range attack {
+			k := core.KeyFromTuple(tu)
+			if err := tb.d.Insert(core.NewPCB(k)); err != nil {
+				return err
+			}
+			allKeys = append(allKeys, k)
+		}
+		for guard := 0; tb.d.Migrating(); guard++ {
+			if guard > 1<<20 {
+				return fmt.Errorf("%s: migration never completed", tb.name)
+			}
+			tb.d.Advance(64)
+		}
+		attackedMean := meanOver(allKeys)
+		worst := tb.stats().MaxExamined
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%d\t%d\t%d→%d\n",
+			tb.name, benignMean, attackedMean, worst, tb.rekeys(), chainsBefore, tb.d.NumChains())
+	}
+	w.Flush()
+
+	// Part 2: the same collision population as wire traffic — a spoofed
+	// tuple-collision SYN flood against a bounded listener backlog.
+	fmt.Fprintf(out, "\n[2] spoofed SYN flood: %d SYNs, backlog=64, syncookies=%v\n\n", floodN, cookies)
+	frames, err := chaos.SynFloodFrames(population[:floodN])
+	if err != nil {
+		return err
+	}
+	server := engine.NewStack(hashfn.ServerEndpoint.Addr, core.NewSequentHash(chains, nil), seed|1)
+	server.Backlog = 64
+	server.SynCookies = cookies
+	if err := server.Listen(hashfn.ServerEndpoint.Port, func(_ *engine.Conn, p []byte) []byte {
+		return append([]byte("ok:"), p...)
+	}); err != nil {
+		return err
+	}
+	deliver := func(fs [][]byte) {
+		for _, f := range fs {
+			server.Deliver(f) // spoofed traffic: errors are the defense working
+			server.Drain()
+		}
+	}
+	deliver(frames[:floodN/2])
+
+	// Mid-flood, a legitimate client tries to connect and transact.
+	client := engine.NewStack(wire.MakeAddr(10, 0, 0, 99), core.NewMapDemux(), seed+2)
+	conn, err := client.Connect(hashfn.ServerEndpoint.Addr, hashfn.ServerEndpoint.Port, 40000, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := engine.Pump(client, server); err != nil {
+		return err
+	}
+	deliver(frames[floodN/2:])
+	echoOK := false
+	if conn.State() == core.StateEstablished {
+		if err := conn.Send([]byte("ping")); err == nil {
+			if _, err := engine.Pump(client, server); err == nil {
+				echoOK = string(conn.LastReceived()) == "ok:ping"
+			}
+		}
+	}
+	st := server.Stats()
+	w = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "client-established\t%v\n", conn.State() == core.StateEstablished)
+	fmt.Fprintf(w, "client-echo-ok\t%v\n", echoOK)
+	fmt.Fprintf(w, "cookies-sent\t%d\n", st.CookiesSent)
+	fmt.Fprintf(w, "cookies-accepted\t%d\n", st.CookiesAccepted)
+	fmt.Fprintf(w, "syn-drops\t%d\n", st.SynDrops)
+	fmt.Fprintf(w, "dropped-backlog-full\t%d\n", st.DroppedBacklogFull)
+	fmt.Fprintf(w, "dropped-bad-cookie\t%d\n", st.DroppedBadCookie)
+	fmt.Fprintf(w, "table-pcbs\t%d\n", server.Demuxer().Len())
+	w.Flush()
 	return nil
 }
 

@@ -147,3 +147,27 @@ func TestThinkDistFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunAdversarialWorkload(t *testing.T) {
+	var b strings.Builder
+	if err := runAdversarial(&b, 19, 42, "multiplicative", 1200, 600, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"workload=adversarial", "sequent (undefended)", "guarded-sequent",
+		"rcu-guarded", "rekeys", "client-established", "cookies-sent",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adversarial output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "client-established") && !strings.Contains(line, "true") {
+			t.Errorf("legitimate client did not connect during flood: %s", line)
+		}
+	}
+	if err := runAdversarial(&b, 19, 42, "bogus-hash", 100, 100, true); err == nil {
+		t.Error("unknown hash accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package chaos is a rule-driven scenario injector for the engine's lossy
+// link. Where LinkConfig's DropRate/DupRate model *background* noise — a
+// memoryless process applied uniformly forever — chaos rules model
+// *events*: a partition from t=2 to t=4, a burst of corruption in one
+// direction, a stall that holds every server reply for 500 ms, a spoofed
+// SYN flood injected mid-exchange. Each rule names a fault, a time
+// window, a direction, and a probability; the injector folds the active
+// rules into a single engine.ChaosFunc and counts what it inflicted, so
+// a test can assert both that the scenario actually fired and that the
+// exchange survived it.
+//
+// Everything is seeded and deterministic: the same rules and seed replay
+// the same fate for every frame, which is what lets conformance tests
+// demand byte-identical application output under and without chaos.
+package chaos
+
+import (
+	"fmt"
+
+	"tcpdemux/internal/engine"
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/wire"
+)
+
+// Fault names one kind of injected failure.
+type Fault int
+
+const (
+	// Drop discards matching frames with probability P.
+	Drop Fault = iota
+	// Dup delivers an extra copy of matching frames with probability P.
+	Dup
+	// Corrupt flips one byte of matching frames with probability P; the
+	// receiver's checksums must reject the mangled copy and the sender's
+	// retransmission must repair the loss.
+	Corrupt
+	// Stall adds Delay virtual seconds to matching frames with
+	// probability P — latency spikes and head-of-line blocking.
+	Stall
+	// Partition drops every matching frame unconditionally for the rule's
+	// whole window (P is ignored): a severed cable, not a noisy one.
+	Partition
+
+	numFaults
+)
+
+// String names the fault for reports.
+func (f Fault) String() string {
+	switch f {
+	case Drop:
+		return "drop"
+	case Dup:
+		return "dup"
+	case Corrupt:
+		return "corrupt"
+	case Stall:
+		return "stall"
+	case Partition:
+		return "partition"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Rule is one scheduled fault. The zero window [0, 0) never matches;
+// Until = 0 with From set means "from From onward" is NOT implied — use
+// Forever for open-ended rules.
+type Rule struct {
+	// Fault is what to inflict.
+	Fault Fault
+	// From and Until bound the active window in virtual seconds:
+	// active when From <= now < Until.
+	From, Until float64
+	// P is the per-frame probability in (0, 1]; 0 means 1 (always).
+	// Ignored by Partition, which always fires.
+	P float64
+	// Dir restricts the rule to one direction unless Both is set.
+	Dir engine.ChaosDir
+	// Both applies the rule to both directions.
+	Both bool
+	// Delay is the Stall fault's added latency in virtual seconds.
+	Delay float64
+}
+
+// Forever is an Until value safely past any exchange's MaxVirtualTime.
+const Forever = 1e18
+
+// active reports whether the rule applies to a frame crossing in dir at
+// time now.
+func (r Rule) active(dir engine.ChaosDir, now float64) bool {
+	if !r.Both && dir != r.Dir {
+		return false
+	}
+	return now >= r.From && now < r.Until
+}
+
+// Injector folds a rule set into an engine.ChaosFunc, counting every
+// fault it inflicts.
+type Injector struct {
+	rules []Rule
+	src   *rng.Source
+	// Inflicted counts fired faults by kind (indexed by Fault).
+	Inflicted [numFaults]uint64
+}
+
+// NewInjector builds an injector over the given rules. The seed drives
+// the per-frame coin flips; rules fire in the order given, and their
+// effects combine (a frame can be both stalled and duplicated).
+func NewInjector(seed uint64, rules ...Rule) *Injector {
+	return &Injector{rules: rules, src: rng.New(seed)}
+}
+
+// Count returns how many times the given fault fired.
+func (in *Injector) Count(f Fault) uint64 {
+	if f < 0 || f >= numFaults {
+		return 0
+	}
+	return in.Inflicted[f]
+}
+
+// Summary renders the inflicted-fault counters in Fault order.
+func (in *Injector) Summary() string {
+	out := ""
+	for f := Fault(0); f < numFaults; f++ {
+		if in.Inflicted[f] == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", f, in.Inflicted[f])
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// Func returns the ChaosFunc to install as LinkConfig.Chaos. The
+// returned closure is not safe for concurrent use — the Link calls it
+// from a single goroutine, in launch order, which keeps the coin-flip
+// sequence reproducible.
+func (in *Injector) Func() engine.ChaosFunc {
+	return func(_ []byte, dir engine.ChaosDir, now float64) engine.ChaosVerdict {
+		var v engine.ChaosVerdict
+		for _, r := range in.rules {
+			if !r.active(dir, now) {
+				continue
+			}
+			if r.Fault == Partition {
+				in.Inflicted[Partition]++
+				v.Drop = true
+				continue
+			}
+			p := r.P
+			if p <= 0 {
+				p = 1
+			}
+			if p < 1 && in.src.Float64() >= p {
+				continue
+			}
+			in.Inflicted[r.Fault]++
+			switch r.Fault {
+			case Drop:
+				v.Drop = true
+			case Dup:
+				v.Dup = true
+			case Corrupt:
+				v.Corrupt = true
+			case Stall:
+				v.ExtraDelay += r.Delay
+			}
+		}
+		return v
+	}
+}
+
+// SynFloodFrames builds one spoofed SYN per tuple, ready to feed to a
+// stack's Deliver or a Link's Inject. Combined with
+// hashfn.AttackPopulation this turns an algorithmic-complexity attack
+// population into wire traffic: a tuple-collision flood.
+func SynFloodFrames(tuples []wire.Tuple) ([][]byte, error) {
+	frames := make([][]byte, 0, len(tuples))
+	for i, tu := range tuples {
+		frame, err := wire.BuildSegment(
+			wire.IPv4Header{TTL: 64, Src: tu.SrcAddr, Dst: tu.DstAddr},
+			wire.TCPHeader{
+				SrcPort: tu.SrcPort, DstPort: tu.DstPort,
+				Seq: uint32(i), Flags: wire.FlagSYN, Window: 1024,
+			},
+			nil,
+		)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, frame)
+	}
+	return frames, nil
+}

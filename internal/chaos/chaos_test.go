@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/engine"
+	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/wire"
+)
+
+// TestInjectorDeterminism: the same rules and seed must rule identically
+// on the same frame sequence — replayability is what makes chaos runs
+// debuggable.
+func TestInjectorDeterminism(t *testing.T) {
+	rules := []Rule{
+		{Fault: Drop, From: 0, Until: Forever, P: 0.3, Both: true},
+		{Fault: Dup, From: 1, Until: 5, P: 0.5, Dir: engine.DirBA},
+		{Fault: Stall, From: 0, Until: Forever, P: 0.2, Both: true, Delay: 0.1},
+	}
+	a := NewInjector(42, rules...)
+	b := NewInjector(42, rules...)
+	fa, fb := a.Func(), b.Func()
+	frame := []byte{1, 2, 3}
+	for i := 0; i < 2000; i++ {
+		dir := engine.ChaosDir(i % 2)
+		now := float64(i) * 0.01
+		va, vb := fa(frame, dir, now), fb(frame, dir, now)
+		if va != vb {
+			t.Fatalf("verdicts diverged at frame %d: %+v vs %+v", i, va, vb)
+		}
+	}
+	if a.Inflicted != b.Inflicted {
+		t.Fatalf("counters diverged: %v vs %v", a.Inflicted, b.Inflicted)
+	}
+	if a.Count(Drop) == 0 || a.Count(Dup) == 0 || a.Count(Stall) == 0 {
+		t.Fatalf("expected every probabilistic rule to fire: %s", a.Summary())
+	}
+}
+
+// TestRuleWindowAndDirection: rules fire only inside their window and
+// direction; Partition ignores P and always drops.
+func TestRuleWindowAndDirection(t *testing.T) {
+	in := NewInjector(7, Rule{Fault: Partition, From: 2, Until: 4, Dir: engine.DirAB, P: 0.0001})
+	f := in.Func()
+	cases := []struct {
+		dir  engine.ChaosDir
+		now  float64
+		drop bool
+	}{
+		{engine.DirAB, 1.9, false}, // before window
+		{engine.DirAB, 2.0, true},  // window start inclusive
+		{engine.DirAB, 3.9, true},
+		{engine.DirAB, 4.0, false}, // window end exclusive
+		{engine.DirBA, 3.0, false}, // wrong direction
+	}
+	for _, c := range cases {
+		if got := f(nil, c.dir, c.now).Drop; got != c.drop {
+			t.Errorf("dir=%v now=%v: drop=%v, want %v", c.dir, c.now, got, c.drop)
+		}
+	}
+	if in.Count(Partition) != 2 {
+		t.Fatalf("partition fired %d times, want 2", in.Count(Partition))
+	}
+}
+
+// chaosCfg is the base exchange configuration for scenario runs.
+func chaosCfg() engine.LossyConfig {
+	return engine.LossyConfig{
+		Clients:        4,
+		Txns:           10,
+		Seed:           99,
+		Link:           engine.LinkConfig{Seed: 1234, Latency: 0.01, Jitter: 0.004},
+		RTO:            0.25,
+		MaxRetries:     60,
+		MSL:            0.5,
+		MaxVirtualTime: 900,
+	}
+}
+
+// TestScenariosPreserveApplicationBytes is the chaos conformance check:
+// a mid-exchange partition, a corruption burst, and a reply stall must
+// each (and all together) leave the application byte stream identical to
+// the undisturbed run — TCP's job is to make chaos invisible above it.
+func TestScenariosPreserveApplicationBytes(t *testing.T) {
+	clean, err := engine.RunLossyExchange(core.NewMapDemux(), chaosCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Completed {
+		t.Fatalf("clean run did not complete (t=%v)", clean.VirtualTime)
+	}
+
+	scenarios := []struct {
+		name  string
+		rules []Rule
+		check func(t *testing.T, in *Injector)
+	}{
+		{
+			name:  "partition",
+			rules: []Rule{{Fault: Partition, From: 0.05, Until: 0.3, Both: true}},
+			check: func(t *testing.T, in *Injector) {
+				if in.Count(Partition) == 0 {
+					t.Fatal("partition never severed anything")
+				}
+			},
+		},
+		{
+			name:  "corrupt-burst",
+			rules: []Rule{{Fault: Corrupt, From: 0, Until: 0.4, P: 0.25, Both: true}},
+			check: func(t *testing.T, in *Injector) {
+				if in.Count(Corrupt) == 0 {
+					t.Fatal("corruption never fired")
+				}
+			},
+		},
+		{
+			name:  "reply-stall",
+			rules: []Rule{{Fault: Stall, From: 0.02, Until: 0.4, P: 0.5, Dir: engine.DirBA, Delay: 0.4}},
+			check: func(t *testing.T, in *Injector) {
+				if in.Count(Stall) == 0 {
+					t.Fatal("stall never fired")
+				}
+			},
+		},
+		{
+			name: "combined",
+			rules: []Rule{
+				{Fault: Partition, From: 0.05, Until: 0.4, Both: true},
+				{Fault: Drop, From: 0, Until: Forever, P: 0.1, Both: true},
+				{Fault: Dup, From: 0, Until: Forever, P: 0.1, Both: true},
+				{Fault: Corrupt, From: 0.25, Until: 0.6, P: 0.2, Dir: engine.DirAB},
+				{Fault: Stall, From: 0, Until: Forever, P: 0.1, Both: true, Delay: 0.2},
+			},
+			check: func(t *testing.T, in *Injector) {
+				for _, f := range []Fault{Partition, Drop, Dup, Corrupt, Stall} {
+					if in.Count(f) == 0 {
+						t.Fatalf("fault %s never fired (%s)", f, in.Summary())
+					}
+				}
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			in := NewInjector(77, sc.rules...)
+			cfg := chaosCfg()
+			cfg.Link.Chaos = in.Func()
+			res, err := engine.RunLossyExchange(core.NewMapDemux(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatalf("exchange did not survive %s (t=%v, retransmits=%d, aborts=%d, %s)",
+					sc.name, res.VirtualTime, res.Retransmits, res.Aborts, in.Summary())
+			}
+			sc.check(t, in)
+			if len(res.Responses) != len(clean.Responses) {
+				t.Fatalf("client counts differ: %d vs %d", len(res.Responses), len(clean.Responses))
+			}
+			for i := range clean.Responses {
+				if !bytes.Equal(res.Responses[i], clean.Responses[i]) {
+					t.Fatalf("client %d bytes diverged under %s", i, sc.name)
+				}
+			}
+		})
+	}
+}
+
+// TestSynFloodFrames: the generated flood must parse back as exactly the
+// SYNs for the attack tuples — valid enough to exercise the listener, not
+// malformed junk the parser would shed for free.
+func TestSynFloodFrames(t *testing.T) {
+	tuples, err := hashfn.AttackPopulation(hashfn.Multiplicative{}, 64, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := SynFloodFrames(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != len(tuples) {
+		t.Fatalf("%d frames for %d tuples", len(frames), len(tuples))
+	}
+	for i, frame := range frames {
+		seg, err := wire.ParseSegment(frame)
+		if err != nil {
+			t.Fatalf("frame %d unparseable: %v", i, err)
+		}
+		if seg.Tuple() != tuples[i] {
+			t.Fatalf("frame %d tuple %v, want %v", i, seg.Tuple(), tuples[i])
+		}
+		if seg.TCP.Flags != wire.FlagSYN {
+			t.Fatalf("frame %d flags %#x, want SYN", i, seg.TCP.Flags)
+		}
+	}
+}

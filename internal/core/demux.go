@@ -83,6 +83,13 @@ type Stats struct {
 	MaxExamined int
 }
 
+// Record folds one lookup result into the statistics, classifying it
+// exactly as the built-in demuxers do. Exported for wrapper demuxers —
+// overload.Guarded probes two inner tables during an online rehash and
+// must account each logical lookup once, in its own Stats, rather than
+// inherit the per-table counts.
+func (s *Stats) Record(r Result) { s.record(r) }
+
 // record folds one lookup result into the statistics.
 func (s *Stats) record(r Result) {
 	s.Lookups++

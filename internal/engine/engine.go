@@ -18,6 +18,7 @@ import (
 
 	"tcpdemux/internal/core"
 	"tcpdemux/internal/frag"
+	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/rng"
 	"tcpdemux/internal/timer"
 	"tcpdemux/internal/wire"
@@ -144,8 +145,20 @@ type Stack struct {
 	Backlog int
 	// SynDrops counts SYNs refused because the backlog was full.
 	SynDrops uint64
-	reasm    *frag.Reassembler
-	frames   uint64 // delivered-frame counter, the reassembly clock
+	// SynCookies enables stateless SYN|ACKs once the backlog fills, so
+	// legitimate clients can complete handshakes during a flood; see
+	// cookies.go.
+	SynCookies bool
+	// seed is retained for deriving independent secrets (the cookie key)
+	// without disturbing src's deterministic draw sequence.
+	seed uint64
+	// cookie is the lazily derived SYN-cookie secret.
+	cookie     hashfn.Keyed
+	cookieInit bool
+	// stats holds the per-reason drop and cookie counters; see Stats().
+	stats  StackStats
+	reasm  *frag.Reassembler
+	frames uint64 // delivered-frame counter, the reassembly clock
 	// usedPorts tracks ephemeral allocations (see ports.go).
 	usedPorts map[uint16]bool
 	// OnAccept, if set, is invoked (with the lock held) when a passive
@@ -175,6 +188,7 @@ func NewStack(addr wire.Addr, d core.Demuxer, seed uint64) *Stack {
 		addr:     addr,
 		demux:    d,
 		src:      rng.New(seed),
+		seed:     seed,
 		handlers: make(map[uint16]Handler),
 		halfOpen: make(map[uint16]int),
 		reasm:    frag.New(64),
@@ -362,9 +376,15 @@ func (s *Stack) Deliver(frame []byte) (core.Result, error) {
 		seg, err = wire.ParseSegment(whole)
 	}
 	if err != nil {
+		if errors.Is(err, wire.ErrTCPBadChecksum) || errors.Is(err, wire.ErrIPv4BadChecksum) {
+			s.stats.DroppedBadChecksum++
+		} else {
+			s.stats.DroppedBadFrame++
+		}
 		return core.Result{}, err
 	}
 	if seg.IP.Dst != s.addr {
+		s.stats.DroppedNoRoute++
 		return core.Result{}, ErrNoRoute
 	}
 	key := core.KeyFromTuple(seg.Tuple())
@@ -372,7 +392,11 @@ func (s *Stack) Deliver(frame []byte) (core.Result, error) {
 	pcb := res.PCB
 	if pcb == nil {
 		if seg.TCP.Flags&wire.FlagRST == 0 {
+			s.stats.DroppedNoListener++
 			s.sendRST(seg)
+		} else {
+			// RFC 793: never reset a reset.
+			s.stats.DroppedRST++
 		}
 		return res, nil
 	}
@@ -522,8 +546,16 @@ func (s *Stack) ReapTimeWait() int {
 // handleListen performs the passive open: a SYN to a listener spawns a
 // connection PCB in SYN_RCVD and answers SYN|ACK.
 func (s *Stack) handleListen(listener *core.PCB, seg *wire.Segment, key core.Key) {
-	if seg.TCP.Flags&wire.FlagSYN == 0 || seg.TCP.Flags&wire.FlagACK != 0 {
-		if seg.TCP.Flags&wire.FlagRST == 0 {
+	f := seg.TCP.Flags
+	if f&wire.FlagSYN == 0 || f&wire.FlagACK != 0 {
+		// Not an initial SYN. With cookies enabled, a pure ACK may be the
+		// third step of a stateless handshake — validate it against the
+		// cookie it must echo.
+		if s.SynCookies && f&wire.FlagACK != 0 && f&(wire.FlagSYN|wire.FlagRST|wire.FlagFIN) == 0 {
+			s.acceptCookieACK(seg, key)
+			return
+		}
+		if f&wire.FlagRST == 0 {
 			s.sendRST(seg)
 		}
 		return
@@ -533,9 +565,17 @@ func (s *Stack) handleListen(listener *core.PCB, seg *wire.Segment, key core.Key
 		backlog = DefaultBacklog
 	}
 	if s.halfOpen[key.LocalPort] >= backlog {
+		s.SynDrops++
+		if s.SynCookies {
+			// Backlog full: answer statelessly instead of shedding the
+			// SYN, so a legitimate client can still complete — the whole
+			// point of cookies.
+			s.sendCookieSynAck(seg)
+			return
+		}
 		// Backlog full: drop the SYN silently, as listen(2) queues do —
 		// the client's retransmission will retry after the flood ebbs.
-		s.SynDrops++
+		s.stats.DroppedBacklogFull++
 		return
 	}
 	pcb := core.NewPCB(key)

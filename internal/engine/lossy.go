@@ -37,7 +37,42 @@ type LinkConfig struct {
 	// to its 60-byte minimum. The IP total length bounds parsing, so the
 	// padding must be invisible to the receiving stack.
 	PadTo int
+	// Chaos, when non-nil, is consulted for every launched frame before
+	// the probabilistic loss model; it implements scripted scenarios
+	// (partitions, stalls, targeted corruption) on top of the background
+	// loss process. See the chaos package for a rule-driven implementation.
+	Chaos ChaosFunc
 }
+
+// ChaosDir identifies a frame's direction across the link.
+type ChaosDir int
+
+const (
+	// DirAB is a frame traveling from the link's first stack to its
+	// second (client → server in RunLossyExchange).
+	DirAB ChaosDir = iota
+	// DirBA is the reverse direction.
+	DirBA
+)
+
+// ChaosVerdict is a scenario's ruling on one frame.
+type ChaosVerdict struct {
+	// Drop discards the frame (counted in Link.Dropped).
+	Drop bool
+	// Dup delivers an extra copy (counted in Link.Duplicated).
+	Dup bool
+	// Corrupt flips one byte of the frame before delivery, so the
+	// receiver's checksums must catch it.
+	Corrupt bool
+	// ExtraDelay is added to every surviving copy's delivery time
+	// (virtual seconds) — a stall.
+	ExtraDelay float64
+}
+
+// ChaosFunc judges one frame about to cross the link. It must be
+// deterministic in its own state: the Link calls it exactly once per
+// launched frame, in launch order.
+type ChaosFunc func(frame []byte, dir ChaosDir, now float64) ChaosVerdict
 
 // DefaultLinkLatency is the one-way delay when LinkConfig.Latency is
 // zero: 10 ms of virtual time.
@@ -64,10 +99,12 @@ type Link struct {
 	seq      uint64
 
 	// Delivered, Dropped, and Duplicated count frame fates, for
-	// reporting.
+	// reporting. Rejected counts delivered frames the receiving stack
+	// refused (corrupted copies shed by its checksums).
 	Delivered  uint64
 	Dropped    uint64
 	Duplicated uint64
+	Rejected   uint64
 }
 
 // NewLink wires two stacks together through the loss model.
@@ -83,7 +120,15 @@ func (l *Link) Idle() bool { return len(l.inflight) == 0 }
 
 // launch decides one drained frame's fate and schedules its copies.
 func (l *Link) launch(frame []byte, to *Stack, now float64) {
-	if l.src.Float64() < l.cfg.DropRate {
+	var verdict ChaosVerdict
+	if l.cfg.Chaos != nil {
+		dir := DirAB
+		if to == l.a {
+			dir = DirBA
+		}
+		verdict = l.cfg.Chaos(frame, dir, now)
+	}
+	if verdict.Drop || l.src.Float64() < l.cfg.DropRate {
 		l.Dropped++
 		return
 	}
@@ -92,19 +137,39 @@ func (l *Link) launch(frame []byte, to *Stack, now float64) {
 		copy(padded, frame)
 		frame = padded
 	}
+	if verdict.Corrupt && len(frame) > 0 {
+		// Flip one byte on a copy: the sender's retransmission buffer must
+		// keep the pristine frame.
+		mangled := make([]byte, len(frame))
+		copy(mangled, frame)
+		mangled[int(l.src.Uint64()%uint64(len(mangled)))] ^= 0xff
+		frame = mangled
+	}
 	copies := 1
-	if l.src.Float64() < l.cfg.DupRate {
+	if verdict.Dup || l.src.Float64() < l.cfg.DupRate {
 		l.Duplicated++
 		copies = 2
 	}
 	for c := 0; c < copies; c++ {
-		at := now + l.cfg.Latency
+		at := now + l.cfg.Latency + verdict.ExtraDelay
 		if l.cfg.Jitter > 0 {
 			at += l.src.Float64() * l.cfg.Jitter
 		}
 		l.inflight = append(l.inflight, flight{frame: frame, to: to, at: at, seq: l.seq})
 		l.seq++
 	}
+}
+
+// Inject schedules a raw frame onto the wire as if a third party sent it
+// (toB chooses the receiving stack). The frame bypasses the loss model
+// and chaos rules: attack traffic is not subject to the defender's luck.
+func (l *Link) Inject(frame []byte, toB bool, now float64) {
+	to := l.a
+	if toB {
+		to = l.b
+	}
+	l.inflight = append(l.inflight, flight{frame: frame, to: to, at: now + l.cfg.Latency, seq: l.seq})
+	l.seq++
 }
 
 // Shuttle collects both stacks' outboxes through the loss model, then
@@ -135,7 +200,15 @@ func (l *Link) Shuttle(now float64) error {
 	})
 	for _, f := range deliver {
 		if _, err := f.to.Deliver(f.frame); err != nil {
-			return fmt.Errorf("lossy deliver: %w", err)
+			// Under a chaos scenario, mangled or spoofed frames are the
+			// point: the receiver sheds them (its drop counters say why)
+			// and the exchange must recover. Without one, every frame on
+			// the wire is harness-built and an error is a harness bug.
+			if l.cfg.Chaos == nil {
+				return fmt.Errorf("lossy deliver: %w", err)
+			}
+			l.Rejected++
+			continue
 		}
 		l.Delivered++
 	}

@@ -1,0 +1,61 @@
+package hashfn
+
+import (
+	"fmt"
+
+	"tcpdemux/internal/wire"
+)
+
+// AttackPopulation synthesizes n distinct tuples that all land on chain
+// target of a chains-slot table under the (unkeyed) hash f — the
+// algorithmic-complexity attack the paper's benign-population analysis
+// never modeled. The generator simply enumerates the (srcAddr, srcPort)
+// space an off-path adversary controls, in a fixed deterministic order,
+// keeping every tuple whose chain index matches; because every unkeyed
+// Func in this package is a public deterministic function of the tuple,
+// the attacker needs no more than this brute-force sieve, and with
+// uniform mixing one candidate in `chains` survives, so the scan touches
+// about n*chains candidates.
+//
+// The destination is the standard ServerEndpoint, matching what a server
+// under attack would see. An error is returned if the candidate space is
+// exhausted before n tuples are found (possible only for degenerate f,
+// e.g. ports-only with chains > 65536).
+func AttackPopulation(f Func, chains, target, n int) ([]wire.Tuple, error) {
+	if chains <= 0 {
+		return nil, fmt.Errorf("hashfn: AttackPopulation needs chains > 0, got %d", chains)
+	}
+	if target < 0 || target >= chains {
+		return nil, fmt.Errorf("hashfn: AttackPopulation target %d out of range [0,%d)", target, chains)
+	}
+	out := make([]wire.Tuple, 0, n)
+	// Sweep ephemeral ports for each client address before advancing the
+	// address — a real flooder rotates source ports faster than it can
+	// acquire addresses. 2^16 addresses x ~64k ports bounds the scan at
+	// ~2^32 candidates; the cap below keeps degenerate hashes from
+	// spinning that long.
+	const maxCandidates = 1 << 28
+	tried := 0
+	for a := 0; a < 1<<16 && len(out) < n; a++ {
+		for port := 1024; port < 1<<16 && len(out) < n; port++ {
+			if tried++; tried > maxCandidates {
+				return nil, fmt.Errorf("hashfn: AttackPopulation(%s) gave up after %d candidates with %d/%d found",
+					f.Name(), maxCandidates, len(out), n)
+			}
+			t := wire.Tuple{
+				SrcAddr: wire.MakeAddr(10, 9, byte(a>>8), byte(a)),
+				DstAddr: ServerEndpoint.Addr,
+				SrcPort: uint16(port),
+				DstPort: ServerEndpoint.Port,
+			}
+			if ChainIndex(f.Hash(t), chains) == target {
+				out = append(out, t)
+			}
+		}
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("hashfn: AttackPopulation(%s) exhausted candidate space with %d/%d found",
+			f.Name(), len(out), n)
+	}
+	return out, nil
+}

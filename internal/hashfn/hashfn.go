@@ -26,8 +26,13 @@ type Func interface {
 }
 
 // ChainIndex reduces a 32-bit hash to a chain index in [0, chains).
-// chains must be positive.
+// A non-positive chain count is clamped to a single chain: callers that
+// mis-size a table degrade to the BSD linear list rather than dividing
+// by zero on the packet path.
 func ChainIndex(h uint32, chains int) int {
+	if chains <= 1 {
+		return 0
+	}
 	return int(h % uint32(chains))
 }
 
@@ -205,9 +210,11 @@ func (PortsOnly) Name() string { return "ports-only" }
 // Hash implements Func.
 func (PortsOnly) Hash(t wire.Tuple) uint32 { return uint32(t.SrcPort) }
 
-// All returns the package's hash functions, strongest mixing first.
+// All returns the package's hash functions, strongest mixing first. The
+// siphash entry is DefaultKeyed — the only keyed (attack-resistant)
+// function in the set.
 func All() []Func {
-	return []Func{CRC32{}, Multiplicative{}, Pearson{}, AddFold{}, XorFold{}, PortsOnly{}}
+	return []Func{DefaultKeyed, CRC32{}, Multiplicative{}, Pearson{}, AddFold{}, XorFold{}, PortsOnly{}}
 }
 
 // ChainCounts hashes every tuple and returns the resulting population of

@@ -1,0 +1,105 @@
+package hashfn
+
+import (
+	"math/bits"
+
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/wire"
+)
+
+// Keyed is a SipHash-2-4 keyed hash over the demultiplexing tuple. Unlike
+// every other Func in this package it is parameterized by a 128-bit secret
+// key: an adversary who can choose (srcAddr, srcPort) cannot predict chain
+// indices without the key, which defeats the collision-attack populations
+// AttackPopulation synthesizes against the unkeyed functions. This is the
+// same fix modern kernels applied to their flow tables after the 2011/2012
+// hash-flooding disclosures — the paper's 1992 analysis assumed benign
+// address populations and never modeled a tuple-choosing adversary.
+//
+// The key is drawn from the repo's seeded rng so runs remain deterministic:
+// the defense rests on the attacker not knowing the key, not on the key
+// being nondeterministic within a simulation.
+type Keyed struct {
+	k0, k1 uint64
+}
+
+// NewKeyed returns a keyed hash with the given 128-bit secret.
+func NewKeyed(k0, k1 uint64) Keyed { return Keyed{k0: k0, k1: k1} }
+
+// KeyedFromRNG draws a fresh 128-bit secret from the seeded source.
+func KeyedFromRNG(src *rng.Source) Keyed {
+	return Keyed{k0: src.Uint64(), k1: src.Uint64()}
+}
+
+// DefaultKeyed is the fixed-key instance registered in All()/ByName for
+// benchmarks and CLI selection. Simulations that need an unpredictable key
+// should draw their own with KeyedFromRNG.
+var DefaultKeyed = NewKeyed(0x736f6d6570736575, 0x646f72616e646f6d)
+
+// Name implements Func.
+func (Keyed) Name() string { return "siphash" }
+
+// sipround is one SipHash ARX round over the four state words.
+func sipround(v0, v1, v2, v3 uint64) (uint64, uint64, uint64, uint64) {
+	v0 += v1
+	v1 = bits.RotateLeft64(v1, 13) ^ v0
+	v0 = bits.RotateLeft64(v0, 32)
+	v2 += v3
+	v3 = bits.RotateLeft64(v3, 16) ^ v2
+	v0 += v3
+	v3 = bits.RotateLeft64(v3, 21) ^ v0
+	v2 += v1
+	v1 = bits.RotateLeft64(v1, 17) ^ v2
+	v2 = bits.RotateLeft64(v2, 32)
+	return v0, v1, v2, v3
+}
+
+// sip24 runs SipHash-2-4 over the message words. Each m is one 8-byte
+// little-endian block; the caller is responsible for folding the message
+// length into the final block per the SipHash padding rule.
+func (k Keyed) sip24(ms ...uint64) uint64 {
+	v0 := k.k0 ^ 0x736f6d6570736575
+	v1 := k.k1 ^ 0x646f72616e646f6d
+	v2 := k.k0 ^ 0x6c7967656e657261
+	v3 := k.k1 ^ 0x7465646279746573
+	for _, m := range ms {
+		v3 ^= m
+		v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+		v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+		v0 ^= m
+	}
+	v2 ^= 0xff
+	v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+	return v0 ^ v1 ^ v2 ^ v3
+}
+
+// Sum64 returns the full 64-bit SipHash of the 12-byte tuple serialization
+// (the three canonical tuple words, little-endian, length byte 12 folded
+// into the final block).
+func (k Keyed) Sum64(t wire.Tuple) uint64 {
+	w0, w1, w2 := tupleWords(t)
+	m0 := uint64(w0) | uint64(w1)<<32
+	m1 := uint64(w2) | 12<<56
+	return k.sip24(m0, m1)
+}
+
+// Sum64Salted hashes the tuple together with an extra 64-bit salt word —
+// used by the engine's SYN cookies to bind the client's initial sequence
+// number into the cookie. The message is 20 bytes (tuple words then salt),
+// so salted and unsalted hashes of the same tuple never collide by
+// construction of the length byte.
+func (k Keyed) Sum64Salted(t wire.Tuple, salt uint64) uint64 {
+	w0, w1, w2 := tupleWords(t)
+	m0 := uint64(w0) | uint64(w1)<<32
+	m2 := uint64(w2) | 20<<56
+	return k.sip24(m0, salt, m2)
+}
+
+// Hash implements Func by folding the 64-bit SipHash to 32 bits.
+func (k Keyed) Hash(t wire.Tuple) uint32 {
+	s := k.Sum64(t)
+	return uint32(s ^ s>>32)
+}

@@ -1,0 +1,185 @@
+package hashfn
+
+import (
+	"math/bits"
+	"testing"
+
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/stats"
+	"tcpdemux/internal/wire"
+)
+
+// refSipHash24 is an independent, byte-oriented SipHash-2-4 written
+// straight from the specification (including the length-byte padding
+// rule). Keyed packs the tuple into 64-bit words directly; this reference
+// checks that packing against the canonical byte-stream form.
+func refSipHash24(k0, k1 uint64, data []byte) uint64 {
+	v0 := k0 ^ 0x736f6d6570736575
+	v1 := k1 ^ 0x646f72616e646f6d
+	v2 := k0 ^ 0x6c7967656e657261
+	v3 := k1 ^ 0x7465646279746573
+	round := func() {
+		v0 += v1
+		v1 = bits.RotateLeft64(v1, 13) ^ v0
+		v0 = bits.RotateLeft64(v0, 32)
+		v2 += v3
+		v3 = bits.RotateLeft64(v3, 16) ^ v2
+		v0 += v3
+		v3 = bits.RotateLeft64(v3, 21) ^ v0
+		v2 += v1
+		v1 = bits.RotateLeft64(v1, 17) ^ v2
+		v2 = bits.RotateLeft64(v2, 32)
+	}
+	full := len(data) / 8
+	for b := 0; b < full; b++ {
+		var m uint64
+		for i := 7; i >= 0; i-- {
+			m = m<<8 | uint64(data[b*8+i])
+		}
+		v3 ^= m
+		round()
+		round()
+		v0 ^= m
+	}
+	m := uint64(len(data)) << 56
+	for i := full * 8; i < len(data); i++ {
+		m |= uint64(data[i]) << (8 * (i - full*8))
+	}
+	v3 ^= m
+	round()
+	round()
+	v0 ^= m
+	v2 ^= 0xff
+	round()
+	round()
+	round()
+	round()
+	return v0 ^ v1 ^ v2 ^ v3
+}
+
+func tupleBytes(t wire.Tuple) []byte {
+	w0, w1, w2 := tupleWords(t)
+	return []byte{
+		byte(w0), byte(w0 >> 8), byte(w0 >> 16), byte(w0 >> 24),
+		byte(w1), byte(w1 >> 8), byte(w1 >> 16), byte(w1 >> 24),
+		byte(w2), byte(w2 >> 8), byte(w2 >> 16), byte(w2 >> 24),
+	}
+}
+
+func TestKeyedMatchesReferenceSipHash(t *testing.T) {
+	src := rng.New(11)
+	for i := 0; i < 200; i++ {
+		k := KeyedFromRNG(src)
+		tu := RandomClients(1, src.Uint64())[0]
+		if got, want := k.Sum64(tu), refSipHash24(k.k0, k.k1, tupleBytes(tu)); got != want {
+			t.Fatalf("Sum64 = %#x, reference = %#x", got, want)
+		}
+		salt := src.Uint64()
+		msg := tupleBytes(tu)
+		salted := append(msg[:8:8],
+			byte(salt), byte(salt>>8), byte(salt>>16), byte(salt>>24),
+			byte(salt>>32), byte(salt>>40), byte(salt>>48), byte(salt>>56))
+		salted = append(salted, msg[8:]...)
+		if got, want := k.Sum64Salted(tu, salt), refSipHash24(k.k0, k.k1, salted); got != want {
+			t.Fatalf("Sum64Salted = %#x, reference = %#x", got, want)
+		}
+	}
+}
+
+func TestKeyedAvalanche(t *testing.T) {
+	rep := Avalanche(DefaultKeyed, 300, 5)
+	if rep.DeadInputBits != 0 {
+		t.Errorf("siphash: %d dead input bits", rep.DeadInputBits)
+	}
+	if rep.MeanFlipProb < 0.45 || rep.MeanFlipProb > 0.55 {
+		t.Errorf("siphash: mean flip probability %v, want ~0.5", rep.MeanFlipProb)
+	}
+}
+
+func TestKeyedKeyDependence(t *testing.T) {
+	tu := sampleTuple()
+	a, b := NewKeyed(1, 2), NewKeyed(3, 4)
+	if a.Hash(tu) == b.Hash(tu) && a.Sum64(tu) == b.Sum64(tu) {
+		t.Fatal("different keys produced identical hashes")
+	}
+	if s := NewKeyed(1, 2); s.Sum64(tu) == s.Sum64Salted(tu, 0) {
+		t.Fatal("salted and unsalted hashes collide for salt 0")
+	}
+}
+
+func TestKeyedBalanceBenignPopulations(t *testing.T) {
+	const n, chains = 2000, 19
+	for _, sc := range Scenarios() {
+		counts := ChainCounts(DefaultKeyed, sc.Gen(n), chains)
+		if cv := stats.CoefficientOfVariation(counts); cv > 0.5 {
+			t.Errorf("siphash on %s: CV = %v, want < 0.5", sc.Name, cv)
+		}
+	}
+}
+
+// TestAttackPopulationSkewsUnkeyedButNotKeyed is the satellite keyed-hash
+// quality check: tuples generated to collide under an unkeyed hash must
+// all land on the target chain of that hash, and the same population must
+// rebalance under a freshly keyed hash — the "after rekey" half of the
+// attack/recovery story.
+func TestAttackPopulationSkewsUnkeyedButNotKeyed(t *testing.T) {
+	const n, chains, target = 1000, 64, 17
+	for _, victim := range []Func{Multiplicative{}, CRC32{}, XorFold{}} {
+		pop, err := AttackPopulation(victim, chains, target, n)
+		if err != nil {
+			t.Fatalf("AttackPopulation(%s): %v", victim.Name(), err)
+		}
+		seen := make(map[wire.Tuple]bool, n)
+		for _, tu := range pop {
+			if seen[tu] {
+				t.Fatalf("%s: duplicate tuple in attack population", victim.Name())
+			}
+			seen[tu] = true
+		}
+		counts := ChainCounts(victim, pop, chains)
+		if counts[target] != n {
+			t.Fatalf("%s: only %d/%d attack tuples hit chain %d", victim.Name(), counts[target], n, target)
+		}
+		// Under an unpredictable key the same population spreads out:
+		// the fullest chain must hold a small fraction of it, not 90%+.
+		keyed := KeyedFromRNG(rng.New(99))
+		kcounts := ChainCounts(keyed, pop, chains)
+		max := int64(0)
+		for _, c := range kcounts {
+			if c > max {
+				max = c
+			}
+		}
+		if max > n/10 {
+			t.Errorf("%s attack population still skewed under keyed hash: max chain %d of %d", victim.Name(), max, n)
+		}
+		if cv := stats.CoefficientOfVariation(kcounts); cv > 0.5 {
+			t.Errorf("%s attack population under keyed hash: CV = %v", victim.Name(), cv)
+		}
+	}
+}
+
+func TestAttackPopulationArgErrors(t *testing.T) {
+	if _, err := AttackPopulation(Multiplicative{}, 0, 0, 10); err == nil {
+		t.Error("chains=0 accepted")
+	}
+	if _, err := AttackPopulation(Multiplicative{}, 8, 8, 10); err == nil {
+		t.Error("target out of range accepted")
+	}
+	if _, err := AttackPopulation(Multiplicative{}, 8, -1, 10); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+// TestChainIndexClamp pins the chains <= 0 guard: a mis-sized table must
+// degrade to one chain, not divide by zero.
+func TestChainIndexClamp(t *testing.T) {
+	for _, chains := range []int{0, -1, -100} {
+		if got := ChainIndex(0xdeadbeef, chains); got != 0 {
+			t.Errorf("ChainIndex(_, %d) = %d, want 0", chains, got)
+		}
+	}
+	if got := ChainIndex(7, 1); got != 0 {
+		t.Errorf("ChainIndex(7, 1) = %d, want 0", got)
+	}
+}
