@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race chaos bench bench-json fuzz figures clean
+.PHONY: all build vet lint test race chaos bench bench-json bench-json-adversarial fuzz figures clean
 
 all: build vet lint test
 
@@ -28,14 +28,16 @@ bin/demuxvet: FORCE
 FORCE:
 
 # test is the tier-1 gate: vet, the invariant analyzers, the full test
-# suite, and the race detector over the concurrent packages plus the
-# timer-driven engine.
+# suite, the race detector over the concurrent packages plus the
+# timer-driven engine and the telemetry stripes, and the demuxsim
+# -metrics endpoint smoke test.
 test: vet lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer
+	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer ./internal/telemetry
+	$(GO) test -run 'TestMetricsEndpoint|TestAdversarialSnapshotUnified' -count=1 ./cmd/demuxsim
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer
+	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer ./internal/telemetry
 
 # chaos runs the adversarial conformance suite under the race detector:
 # collision attacks with online rekey (overload), scripted link faults
@@ -54,6 +56,12 @@ bench:
 # immune to — is visible even on small hosts; see cmd/benchjson -h.
 bench-json:
 	$(GO) run ./cmd/benchjson -gomaxprocs 32 -workers 384 -rounds 5 -ops 8000 -n 6000 -out BENCH_parallel.json
+
+# bench-json-adversarial measures the collision-attack / rekey / SYN-cookie
+# story (demuxsim -workload adversarial, but machine-readable) and embeds
+# the full telemetry registry snapshot in the document.
+bench-json-adversarial:
+	$(GO) run ./cmd/benchjson -workload adversarial -ops 200000 -out BENCH_adversarial.json
 
 # Short fuzz pass over the wire parsers and the full receive path
 # (CI-sized; raise FUZZTIME locally).

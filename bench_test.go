@@ -30,6 +30,7 @@ import (
 	"tcpdemux/internal/rcu"
 	"tcpdemux/internal/rng"
 	"tcpdemux/internal/stats"
+	"tcpdemux/internal/telemetry"
 	"tcpdemux/internal/tpca"
 	"tcpdemux/internal/trains"
 	"tcpdemux/internal/wire"
@@ -521,75 +522,104 @@ func BenchmarkParallelTPCA(b *testing.B) {
 	const readFraction = 0.99
 	for _, name := range []string{"locked-sequent", "sharded-sequent", "rcu-sequent"} {
 		for _, batch := range []int{0, 64} {
-			name, batch := name, batch
-			bname := name + "/perpacket"
-			if batch > 1 {
-				bname = fmt.Sprintf("%s/batch%d", name, batch)
-			}
-			b.Run(bname, func(b *testing.B) {
-				d, err := parallel.New(name, core.Config{Chains: 19})
-				if err != nil {
-					b.Fatal(err)
+			// The /telemetry variants run the same workload with each
+			// worker observing through its own telemetry.LocalDemux
+			// (single-writer examined/outcome accumulation, flushed at
+			// worker exit), making the instrumentation overhead a
+			// directly comparable benchmark line; see overhead_test.go
+			// for the <5% acceptance check.
+			for _, instrumented := range []bool{false, true} {
+				name, batch, instrumented := name, batch, instrumented
+				bname := name + "/perpacket"
+				if batch > 1 {
+					bname = fmt.Sprintf("%s/batch%d", name, batch)
 				}
-				for i := 0; i < users; i++ {
-					if err := d.Insert(core.NewPCB(tpca.UserKey(i))); err != nil {
+				if instrumented {
+					bname += "/telemetry"
+				}
+				b.Run(bname, func(b *testing.B) {
+					shared, m, err := newParallelBenchDemux(name, instrumented)
+					if err != nil {
 						b.Fatal(err)
 					}
-				}
-				var worker atomic.Int64
-				b.SetParallelism(4)
-				b.ResetTimer()
-				start := time.Now()
-				b.RunParallel(func(pb *testing.PB) {
-					w := int(worker.Add(1)) - 1
-					src := rng.New(uint64(w)*7919 + 42)
-					pos := (w * 65537) % len(stream)
-					churnBase := users + 100 + w*32
-					var keys []core.Key
-					var out []core.Result
-					for pb.Next() {
-						if src.Float64() >= readFraction {
-							if len(keys) > 0 {
-								out = d.LookupBatch(keys, core.DirData, out)
-								keys = keys[:0]
-							}
-							k := tpca.UserKey(churnBase + src.Intn(32))
-							if !d.Remove(k) {
-								_ = d.Insert(core.NewPCB(k))
-							}
-							continue
-						}
-						op := stream[pos]
-						pos++
-						if pos == len(stream) {
-							pos = 0
-						}
-						if batch > 1 {
-							keys = append(keys, op.Key)
-							if len(keys) >= batch {
-								out = d.LookupBatch(keys, core.DirData, out)
-								keys = keys[:0]
-							}
-						} else {
-							d.Lookup(op.Key, op.Dir)
+					for i := 0; i < users; i++ {
+						if err := shared.Insert(core.NewPCB(tpca.UserKey(i))); err != nil {
+							b.Fatal(err)
 						}
 					}
-					if len(keys) > 0 {
-						d.LookupBatch(keys, core.DirData, out)
+					var worker atomic.Int64
+					b.SetParallelism(4)
+					b.ResetTimer()
+					start := time.Now()
+					b.RunParallel(func(pb *testing.PB) {
+						d := shared
+						if m != nil {
+							ld := telemetry.InstrumentLocal(shared, m)
+							defer ld.Flush()
+							d = ld
+						}
+						w := int(worker.Add(1)) - 1
+						src := rng.New(uint64(w)*7919 + 42)
+						pos := (w * 65537) % len(stream)
+						churnBase := users + 100 + w*32
+						var keys []core.Key
+						var out []core.Result
+						for pb.Next() {
+							if src.Float64() >= readFraction {
+								if len(keys) > 0 {
+									out = d.LookupBatch(keys, core.DirData, out)
+									keys = keys[:0]
+								}
+								k := tpca.UserKey(churnBase + src.Intn(32))
+								if !d.Remove(k) {
+									_ = d.Insert(core.NewPCB(k))
+								}
+								continue
+							}
+							op := stream[pos]
+							pos++
+							if pos == len(stream) {
+								pos = 0
+							}
+							if batch > 1 {
+								keys = append(keys, op.Key)
+								if len(keys) >= batch {
+									out = d.LookupBatch(keys, core.DirData, out)
+									keys = keys[:0]
+								}
+							} else {
+								d.Lookup(op.Key, op.Dir)
+							}
+						}
+						if len(keys) > 0 {
+							d.LookupBatch(keys, core.DirData, out)
+						}
+					})
+					elapsed := time.Since(start).Seconds()
+					if elapsed > 0 {
+						b.ReportMetric(float64(b.N)/elapsed, "lookups/sec")
+					}
+					st := shared.Snapshot()
+					if st.Lookups > 0 {
+						b.ReportMetric(st.MeanExamined(), "PCBs/pkt")
+						b.ReportMetric(st.HitRate()*100, "hit%")
 					}
 				})
-				elapsed := time.Since(start).Seconds()
-				if elapsed > 0 {
-					b.ReportMetric(float64(b.N)/elapsed, "lookups/sec")
-				}
-				st := d.Snapshot()
-				if st.Lookups > 0 {
-					b.ReportMetric(st.MeanExamined(), "PCBs/pkt")
-					b.ReportMetric(st.HitRate()*100, "hit%")
-				}
-			})
+			}
 		}
 	}
+}
+
+// newParallelBenchDemux builds a discipline for BenchmarkParallelTPCA,
+// optionally wrapped in telemetry instrumentation (fresh registry per
+// sub-benchmark so runs never share stripe state).
+func newParallelBenchDemux(name string, instrumented bool) (parallel.ConcurrentDemuxer, *telemetry.DemuxMetrics, error) {
+	d, err := parallel.New(name, core.Config{Chains: 19})
+	if err != nil || !instrumented {
+		return d, nil, err
+	}
+	reg := telemetry.NewRegistry()
+	return d, telemetry.NewDemuxMetrics(reg, name), nil
 }
 
 // --- EXP-CONNID: protocol connection IDs vs hashing (§3.5) ---------------------------

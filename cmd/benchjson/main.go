@@ -24,15 +24,22 @@ import (
 	"os"
 	"runtime"
 
+	"tcpdemux/internal/chaos"
 	"tcpdemux/internal/core"
+	"tcpdemux/internal/engine"
+	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/overload"
 	"tcpdemux/internal/parallel"
+	"tcpdemux/internal/telemetry"
 	"tcpdemux/internal/tpca"
+	"tcpdemux/internal/wire"
 )
 
 // options collects the run parameters; a struct (rather than bare flag
 // globals) so the test harness can drive tiny runs.
 type options struct {
 	Out        string
+	Workload   string
 	Rounds     int
 	GoMaxProcs int
 	Workers    int
@@ -49,6 +56,7 @@ type options struct {
 func defaults() options {
 	return options{
 		Out:        "BENCH_parallel.json",
+		Workload:   "parallel",
 		Rounds:     5,
 		GoMaxProcs: 4,
 		Workers:    0, // 0 -> 4 * GoMaxProcs
@@ -69,6 +77,11 @@ type round struct {
 	LookupsPerSec float64 `json:"lookupsPerSec"`
 	MeanExamined  float64 `json:"meanExamined"`
 	CacheHitRate  float64 `json:"cacheHitRate"`
+	// Examined-per-packet percentiles from the round's telemetry
+	// histogram (log2-bucket estimates).
+	ExaminedP50 float64 `json:"examinedP50"`
+	ExaminedP90 float64 `json:"examinedP90"`
+	ExaminedP99 float64 `json:"examinedP99"`
 }
 
 // result is one configuration's rounds plus its best round.
@@ -90,6 +103,9 @@ type report struct {
 	Results    []result           `json:"results"`
 	Summary    summary            `json:"summary"`
 	BestRate   map[string]float64 `json:"bestLookupsPerSec"`
+	// Telemetry is the registry snapshot accumulated across every round,
+	// one examined histogram per discipline/mode pair.
+	Telemetry telemetry.Snapshot `json:"telemetry"`
 }
 
 // summary holds the acceptance ratios: the RCU table's best rate against
@@ -113,9 +129,32 @@ func main() {
 	flag.IntVar(&opt.Batch, "batch", opt.Batch, "train length for the batched mode")
 	flag.IntVar(&opt.Chains, "chains", opt.Chains, "hash chains")
 	flag.Uint64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	flag.StringVar(&opt.Workload, "workload", opt.Workload, "benchmark workload: parallel or adversarial")
 	flag.Parse()
 
-	rep, err := run(opt)
+	var rep any
+	var err error
+	var note string
+	switch opt.Workload {
+	case "parallel":
+		var pr *report
+		pr, err = run(opt)
+		if pr != nil {
+			note = fmt.Sprintf("rcu/locked %.2fx, rcu/sharded %.2fx",
+				pr.Summary.RcuOverLocked, pr.Summary.RcuOverSharded)
+		}
+		rep = pr
+	case "adversarial":
+		var ar *advReport
+		ar, err = runAdversarial(opt)
+		if ar != nil {
+			note = fmt.Sprintf("undefended %.1f -> guarded %.1f PCBs/pkt under attack",
+				ar.Tables[0].AttackedMean, ar.Tables[1].AttackedMean)
+		}
+		rep = ar
+	default:
+		err = fmt.Errorf("unknown workload %q (have parallel, adversarial)", opt.Workload)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -133,8 +172,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (rcu/locked %.2fx, rcu/sharded %.2fx)\n",
-			opt.Out, rep.Summary.RcuOverLocked, rep.Summary.RcuOverSharded)
+		fmt.Printf("wrote %s (%s)\n", opt.Out, note)
 	}
 }
 
@@ -176,22 +214,28 @@ func run(opt options) (*report, error) {
 	}
 
 	results := make([]result, len(configs))
+	metrics := make([]*telemetry.DemuxMetrics, len(configs))
+	reg := telemetry.NewRegistry()
 	for i, c := range configs {
 		results[i] = result{Discipline: c.discipline, Mode: c.mode}
+		metrics[i] = telemetry.NewDemuxMetrics(reg,
+			fmt.Sprintf("%s/%s", c.discipline, c.mode))
 	}
 	// Interleave: round 1 of every configuration, then round 2, ... so
 	// machine drift lands on all configurations alike.
 	for r := 0; r < opt.Rounds; r++ {
 		for i, c := range configs {
-			d, err := parallel.New(c.discipline, core.Config{Chains: opt.Chains})
+			inner, err := parallel.New(c.discipline, core.Config{Chains: opt.Chains})
 			if err != nil {
 				return nil, err
 			}
+			d := telemetry.InstrumentConcurrent(inner, metrics[i], nil, nil)
 			for u := 0; u < opt.Users; u++ {
 				if err := d.Insert(core.NewPCB(tpca.UserKey(u))); err != nil {
 					return nil, err
 				}
 			}
+			before := metrics[i].ExaminedSnapshot()
 			res, err := parallel.MeasureThroughput(d, parallel.ThroughputConfig{
 				Workers: opt.Workers, OpsPerWorker: opt.Ops, Stream: stream,
 				ReadFraction: opt.Read, ChurnKeys: churn, Batch: c.batch,
@@ -200,11 +244,15 @@ func run(opt options) (*report, error) {
 			if err != nil {
 				return nil, err
 			}
+			h := histDiff(metrics[i].ExaminedSnapshot(), before)
 			rd := round{
 				NsPerOp:       res.NsPerOp,
 				LookupsPerSec: float64(res.Stats.Lookups) / res.Elapsed.Seconds(),
 				MeanExamined:  res.Stats.MeanExamined(),
 				CacheHitRate:  res.Stats.HitRate(),
+				ExaminedP50:   h.Quantile(0.50),
+				ExaminedP90:   h.Quantile(0.90),
+				ExaminedP99:   h.Quantile(0.99),
 			}
 			results[i].Rounds = append(results[i].Rounds, rd)
 			if rd.LookupsPerSec > results[i].Best.LookupsPerSec {
@@ -242,8 +290,223 @@ func run(opt options) (*report, error) {
 			"chains": opt.Chains, "rounds": opt.Rounds, "seed": opt.Seed,
 			"churnKeysPerWorker": opt.ChurnKeys,
 		},
-		Results:  results,
-		Summary:  sum,
-		BestRate: best,
+		Results:   results,
+		Summary:   sum,
+		BestRate:  best,
+		Telemetry: reg.Snapshot(),
 	}, nil
+}
+
+// histDiff subtracts an earlier snapshot of the same histogram, giving
+// the per-round view of a histogram that accumulates across rounds. Max
+// is carried from the later snapshot (it cannot be un-accumulated).
+func histDiff(after, before telemetry.HistogramSnapshot) telemetry.HistogramSnapshot {
+	d := after
+	d.Count -= before.Count
+	d.Sum -= before.Sum
+	d.Bucket = make([]uint64, len(after.Bucket))
+	for i := range d.Bucket {
+		d.Bucket[i] = after.Bucket[i] - before.Bucket[i]
+	}
+	return d
+}
+
+// advTableResult is one table's measured attack response.
+type advTableResult struct {
+	Table        string  `json:"table"`
+	BenignMean   float64 `json:"benignMean"`
+	AttackedMean float64 `json:"attackedMean"`
+	WorstLookup  int     `json:"worstLookup"`
+	Rekeys       int     `json:"rekeys"`
+	ExaminedP50  float64 `json:"examinedP50"`
+	ExaminedP90  float64 `json:"examinedP90"`
+	ExaminedP99  float64 `json:"examinedP99"`
+}
+
+// advReport is the adversarial-workload JSON document
+// (BENCH_adversarial.json).
+type advReport struct {
+	Benchmark string             `json:"benchmark"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Config    map[string]any     `json:"config"`
+	Tables    []advTableResult   `json:"tables"`
+	Flood     advFloodResult     `json:"flood"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// advFloodResult summarizes the SYN-flood half of the run.
+type advFloodResult struct {
+	ClientEstablished  bool   `json:"clientEstablished"`
+	CookiesSent        uint64 `json:"cookiesSent"`
+	CookiesAccepted    uint64 `json:"cookiesAccepted"`
+	SynDrops           uint64 `json:"synDrops"`
+	DroppedBadCookie   uint64 `json:"droppedBadCookie"`
+	DroppedBacklogFull uint64 `json:"droppedBacklogFull"`
+}
+
+// advDemux is the slice of behaviour the attack measurement needs; the
+// undefended table gets no-op migration methods.
+type advDemux interface {
+	Insert(*core.PCB) error
+	Lookup(core.Key, core.Direction) core.Result
+	Migrating() bool
+	Advance(int)
+}
+
+type plainSequent struct{ *core.SequentHash }
+
+func (plainSequent) Migrating() bool { return false }
+func (plainSequent) Advance(int)     {}
+
+// runAdversarial measures the collision attack and SYN flood the
+// demuxsim adversarial workload runs, emitting machine-readable JSON:
+// per-table examined means and percentiles under attack, rekey counts,
+// flood counters, and the full telemetry snapshot.
+func runAdversarial(opt options) (*advReport, error) {
+	victim, err := hashfn.ByName("multiplicative")
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.NewRegistry()
+	const benignN = 400
+	attackN := opt.Ops / 50
+	if attackN < 400 {
+		attackN = 400
+	}
+	floodN := attackN / 2
+	benign := hashfn.RandomClients(benignN, opt.Seed^0xbe9)
+	popN := attackN
+	if floodN > popN {
+		popN = floodN
+	}
+	population, err := hashfn.AttackPopulation(victim, opt.Chains, int(opt.Seed%uint64(opt.Chains)), popN)
+	if err != nil {
+		return nil, err
+	}
+	attack := population[:attackN]
+
+	und := plainSequent{core.NewSequentHash(opt.Chains, victim)}
+	g := overload.NewGuarded(opt.Chains, victim, opt.Seed, overload.Config{})
+	rg := overload.NewRCUGuarded(opt.Chains, victim, opt.Seed, overload.Config{})
+	g.SetTelemetry(telemetry.NewOverloadMetrics(reg, "guarded-sequent"))
+	rg.SetTelemetry(telemetry.NewOverloadMetrics(reg, "rcu-guarded"))
+	type advTable struct {
+		name   string
+		d      advDemux
+		m      *telemetry.DemuxMetrics
+		stats  func() core.Stats
+		rekeys func() int
+	}
+	tables := []advTable{
+		{"sequent-undefended", und, telemetry.NewDemuxMetrics(reg, "sequent-undefended"),
+			func() core.Stats { return *und.Stats() }, func() int { return 0 }},
+		{"guarded-sequent", g, telemetry.NewDemuxMetrics(reg, "guarded-sequent"),
+			func() core.Stats { return *g.Stats() }, func() int { return g.Rekeys }},
+		{"rcu-guarded", rg, telemetry.NewDemuxMetrics(reg, "rcu-guarded"),
+			func() core.Stats { return rg.Snapshot() }, func() int { return rg.Rekeys }},
+	}
+
+	rep := &advReport{
+		Benchmark: "adversarial collision attack + SYN flood",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Config: map[string]any{
+			"chains": opt.Chains, "seed": opt.Seed,
+			"attack": attackN, "benign": benignN, "flood": floodN,
+			"hash": "multiplicative", "syncookies": true,
+		},
+	}
+	for _, tb := range tables {
+		if err := tb.d.Insert(core.NewListenPCB(core.ListenKey(hashfn.ServerEndpoint.Addr, hashfn.ServerEndpoint.Port))); err != nil {
+			return nil, err
+		}
+		benignKeys := make([]core.Key, len(benign))
+		for i, tu := range benign {
+			benignKeys[i] = core.KeyFromTuple(tu)
+			if err := tb.d.Insert(core.NewPCB(benignKeys[i])); err != nil {
+				return nil, err
+			}
+		}
+		tb := tb
+		meanOver := func(keys []core.Key) float64 {
+			before := tb.stats()
+			for _, k := range keys {
+				tb.m.Observe(tb.d.Lookup(k, core.DirData))
+			}
+			after := tb.stats()
+			if after.Lookups == before.Lookups {
+				return 0
+			}
+			return float64(after.Examined-before.Examined) / float64(after.Lookups-before.Lookups)
+		}
+		benignMean := meanOver(benignKeys)
+		allKeys := benignKeys
+		for _, tu := range attack {
+			k := core.KeyFromTuple(tu)
+			if err := tb.d.Insert(core.NewPCB(k)); err != nil {
+				return nil, err
+			}
+			allKeys = append(allKeys, k)
+		}
+		for guard := 0; tb.d.Migrating(); guard++ {
+			if guard > 1<<20 {
+				return nil, fmt.Errorf("%s: migration never completed", tb.name)
+			}
+			tb.d.Advance(64)
+		}
+		attackedMean := meanOver(allKeys)
+		h := tb.m.ExaminedSnapshot()
+		rep.Tables = append(rep.Tables, advTableResult{
+			Table:        tb.name,
+			BenignMean:   benignMean,
+			AttackedMean: attackedMean,
+			WorstLookup:  tb.stats().MaxExamined,
+			Rekeys:       tb.rekeys(),
+			ExaminedP50:  h.Quantile(0.50),
+			ExaminedP90:  h.Quantile(0.90),
+			ExaminedP99:  h.Quantile(0.99),
+		})
+	}
+
+	frames, err := chaos.SynFloodFrames(population[:floodN])
+	if err != nil {
+		return nil, err
+	}
+	server := engine.NewStack(hashfn.ServerEndpoint.Addr, core.NewSequentHash(opt.Chains, nil), opt.Seed|1)
+	server.SetTelemetry(reg)
+	server.Backlog = 64
+	server.SynCookies = true
+	if err := server.Listen(hashfn.ServerEndpoint.Port, func(_ *engine.Conn, p []byte) []byte {
+		return append([]byte("ok:"), p...)
+	}); err != nil {
+		return nil, err
+	}
+	deliver := func(fs [][]byte) {
+		for _, f := range fs {
+			server.Deliver(f)
+			server.Drain()
+		}
+	}
+	deliver(frames[:floodN/2])
+	client := engine.NewStack(wire.MakeAddr(10, 0, 0, 99), core.NewMapDemux(), opt.Seed+2)
+	conn, err := client.Connect(hashfn.ServerEndpoint.Addr, hashfn.ServerEndpoint.Port, 40000, nil)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := engine.Pump(client, server); err != nil {
+		return nil, err
+	}
+	deliver(frames[floodN/2:])
+	st := server.Stats()
+	rep.Flood = advFloodResult{
+		ClientEstablished:  conn.State() == core.StateEstablished,
+		CookiesSent:        st.CookiesSent,
+		CookiesAccepted:    st.CookiesAccepted,
+		SynDrops:           st.SynDrops,
+		DroppedBadCookie:   st.DroppedBadCookie,
+		DroppedBacklogFull: st.DroppedBacklogFull,
+	}
+	rep.Telemetry = reg.Snapshot()
+	return rep, nil
 }

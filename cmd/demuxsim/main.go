@@ -48,6 +48,7 @@ import (
 	"tcpdemux/internal/overload"
 	"tcpdemux/internal/parallel"
 	"tcpdemux/internal/rng"
+	"tcpdemux/internal/telemetry"
 	"tcpdemux/internal/tpca"
 	"tcpdemux/internal/trace"
 	"tcpdemux/internal/trains"
@@ -77,6 +78,8 @@ func main() {
 		attack   = flag.Int("attack", 4000, "adversarial workload: size of the colliding-tuple attack population")
 		floodN   = flag.Int("flood", 5000, "adversarial workload: spoofed SYNs fired at the listener")
 		cookies  = flag.Bool("syncookies", true, "adversarial workload: enable SYN cookies on the flooded listener")
+		metrics  = flag.String("metrics", "", "serve /metrics (Prometheus) and /metrics.json on this addr; the process stays alive after the run for scraping")
+		flight   = flag.String("flight", "", "adversarial workload: export the flight-recorder capture to this trace file")
 	)
 	flag.Parse()
 	if *list {
@@ -87,21 +90,40 @@ func main() {
 	if *workload == "parallel" && !flagWasSet("algos") {
 		algoList = parallel.Disciplines()
 	}
+	reg := telemetry.NewRegistry()
+	serving := false
+	if *metrics != "" {
+		bound, _, err := telemetry.Serve(*metrics, reg.Snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "demuxsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+		serving = true
+	}
 	var err error
 	if *replay != "" {
 		err = runReplay(os.Stdout, *replay, algoList, *chains, *hash)
 	} else if *workload == "parallel" {
-		err = runParallel(os.Stdout, algoList, *users, *txns, *chains, *seed, *workers, *ops, *batch, *hash)
+		err = runParallel(os.Stdout, algoList, *users, *txns, *chains, *seed, *workers, *ops, *batch, *hash, reg)
 	} else if *workload == "lossy" {
 		err = runLossy(os.Stdout, algoList, *users, *txns, *chains, *seed, *drop, *dup, *hash)
 	} else if *workload == "adversarial" {
-		err = runAdversarial(os.Stdout, *chains, *seed, *hash, *attack, *floodN, *cookies)
+		err = runAdversarial(os.Stdout, advConfig{
+			chains: *chains, seed: *seed, hash: *hash,
+			attackN: *attack, floodN: *floodN, cookies: *cookies,
+			reg: reg, flight: *flight,
+		})
 	} else {
 		err = run(os.Stdout, *workload, algoList, *users, *resp, *rtt, *chains, *txns, *seed, *record, *hash, *think)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "demuxsim:", err)
 		os.Exit(1)
+	}
+	if serving {
+		fmt.Fprintln(os.Stderr, "run complete; still serving metrics (interrupt to exit)")
+		select {}
 	}
 }
 
@@ -119,10 +141,13 @@ func flagWasSet(name string) bool {
 // runParallel replays a recorded TPC/A inbound stream through each named
 // concurrent locking discipline and prints the measured rates — the
 // command-line face of the BenchmarkParallel/benchjson comparison.
-func runParallel(out io.Writer, names []string, users, txns, chains int, seed uint64, workers, ops, batch int, hashName string) error {
+func runParallel(out io.Writer, names []string, users, txns, chains int, seed uint64, workers, ops, batch int, hashName string, reg *telemetry.Registry) error {
 	hashFn, err := hashfn.ByName(hashName)
 	if err != nil {
 		return err
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
 	}
 	stream, err := parallel.TPCAStream(users, txns, seed)
 	if err != nil {
@@ -143,12 +168,14 @@ func runParallel(out io.Writer, names []string, users, txns, chains int, seed ui
 		users, len(stream), workers, mode, chains, runtime.GOMAXPROCS(0))
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	defer w.Flush()
-	fmt.Fprintln(w, "discipline\tns/op\tlookups/sec\tPCBs/pkt\thit-rate")
+	fmt.Fprintln(w, "discipline\tns/op\tlookups/sec\tPCBs/pkt\tp50\tp90\tp99\thit-rate")
 	for _, name := range names {
-		d, err := parallel.New(strings.TrimSpace(name), core.Config{Chains: chains, Hash: hashFn})
+		inner, err := parallel.New(strings.TrimSpace(name), core.Config{Chains: chains, Hash: hashFn})
 		if err != nil {
 			return err
 		}
+		m := telemetry.NewDemuxMetrics(reg, inner.Name())
+		var d parallel.ConcurrentDemuxer = telemetry.InstrumentConcurrent(inner, m, nil, nil)
 		for u := 0; u < users; u++ {
 			if err := d.Insert(core.NewPCB(tpca.UserKey(u))); err != nil {
 				return err
@@ -161,10 +188,13 @@ func runParallel(out io.Writer, names []string, users, txns, chains int, seed ui
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s\t%.1f\t%.0f\t%.2f\t%.2f%%\n",
+		h := m.ExaminedSnapshot()
+		fmt.Fprintf(w, "%s\t%.1f\t%.0f\t%.2f\t%.0f\t%.0f\t%.0f\t%.2f%%\n",
 			d.Name(), res.NsPerOp,
 			float64(res.Stats.Lookups)/res.Elapsed.Seconds(),
-			res.Stats.MeanExamined(), res.Stats.HitRate()*100)
+			res.Stats.MeanExamined(),
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99),
+			res.Stats.HitRate()*100)
 	}
 	return nil
 }
@@ -273,16 +303,41 @@ type plainSequent struct{ *core.SequentHash }
 func (plainSequent) Migrating() bool { return false }
 func (plainSequent) Advance(int)     {}
 
+// advConfig parameterizes the adversarial workload. reg (optional)
+// receives every metric the run produces — per-discipline examined
+// histograms, chain-skew gauges, rekey counts, cookie counters, and
+// per-reason drops all land in one registry snapshot; flight (optional)
+// names a trace file for the flight-recorder capture of part 1's
+// lookups.
+type advConfig struct {
+	chains  int
+	seed    uint64
+	hash    string
+	attackN int
+	floodN  int
+	cookies bool
+	reg     *telemetry.Registry
+	flight  string
+}
+
 // runAdversarial mounts the collision attack against an undefended table
 // and the overload-guarded variants, then the spoofed SYN flood against a
 // cookie-armed listener. Part 1's figure of merit is the mean PCBs
 // examined per lookup before and under attack; part 2's is whether a
-// legitimate client completes its handshake mid-flood.
-func runAdversarial(out io.Writer, chains int, seed uint64, hashName string, attackN, floodN int, cookies bool) error {
-	victim, err := hashfn.ByName(hashName)
+// legitimate client completes its handshake mid-flood. Part 3 prints the
+// unified telemetry snapshot.
+func runAdversarial(out io.Writer, cfg advConfig) error {
+	chains, seed := cfg.chains, cfg.seed
+	attackN, floodN, cookies := cfg.attackN, cfg.floodN, cfg.cookies
+	victim, err := hashfn.ByName(cfg.hash)
 	if err != nil {
 		return err
 	}
+	reg := cfg.reg
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	rec := telemetry.NewFlightRecorder(4096)
 	const benignN = 400
 	benign := hashfn.RandomClients(benignN, seed^0xbe9)
 	popN := attackN
@@ -296,24 +351,33 @@ func runAdversarial(out io.Writer, chains int, seed uint64, hashName string, att
 	attack := population[:attackN]
 
 	fmt.Fprintf(out, "workload=adversarial hash=%s chains=%d attack=%d benign=%d flood=%d syncookies=%v\n\n",
-		hashName, chains, attackN, benignN, floodN, cookies)
-	fmt.Fprintf(out, "[1] algorithmic-complexity attack: %d tuples colliding under %s\n\n", attackN, hashName)
+		cfg.hash, chains, attackN, benignN, floodN, cookies)
+	fmt.Fprintf(out, "[1] algorithmic-complexity attack: %d tuples colliding under %s\n\n", attackN, cfg.hash)
 
 	type advTable struct {
 		name   string
 		d      advDemux
+		m      *telemetry.DemuxMetrics
 		stats  func() core.Stats
 		rekeys func() int
 	}
 	und := plainSequent{core.NewSequentHash(chains, victim)}
 	g := overload.NewGuarded(chains, victim, seed, overload.Config{})
 	rg := overload.NewRCUGuarded(chains, victim, seed, overload.Config{})
+	g.SetTelemetry(telemetry.NewOverloadMetrics(reg, "guarded-sequent"))
+	rg.SetTelemetry(telemetry.NewOverloadMetrics(reg, "rcu-guarded"))
 	tables := []advTable{
-		{"sequent (undefended)", und, func() core.Stats { return *und.Stats() }, func() int { return 0 }},
-		{"guarded-sequent", g, func() core.Stats { return *g.Stats() }, func() int { return g.Rekeys }},
-		{"rcu-guarded", rg, func() core.Stats { return rg.Snapshot() }, func() int { return rg.Rekeys }},
+		{"sequent (undefended)", und, telemetry.NewDemuxMetrics(reg, "sequent-undefended"),
+			func() core.Stats { return *und.Stats() }, func() int { return 0 }},
+		{"guarded-sequent", g, telemetry.NewDemuxMetrics(reg, "guarded-sequent"),
+			func() core.Stats { return *g.Stats() }, func() int { return g.Rekeys }},
+		{"rcu-guarded", rg, telemetry.NewDemuxMetrics(reg, "rcu-guarded"),
+			func() core.Stats { return rg.Snapshot() }, func() int { return rg.Rekeys }},
 	}
 
+	// vt is the run's virtual clock: one tick per recorded lookup, so the
+	// flight capture is totally ordered and deterministic per seed.
+	vt := 0.0
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "algorithm\tbenign-mean\tattacked-mean\tworst-lookup\trekeys\tchains")
 	for _, tb := range tables {
@@ -327,10 +391,23 @@ func runAdversarial(out io.Writer, chains int, seed uint64, hashName string, att
 				return err
 			}
 		}
+		tb := tb
 		meanOver := func(keys []core.Key) float64 {
 			before := tb.stats()
 			for _, k := range keys {
-				tb.d.Lookup(k, core.DirData)
+				r := tb.d.Lookup(k, core.DirData)
+				tb.m.Observe(r)
+				vt++
+				rec.Record(telemetry.Event{
+					Time:       vt,
+					Tuple:      k.Tuple(),
+					Discipline: tb.name,
+					Chain:      -1,
+					Examined:   int32(r.Examined),
+					Hit:        r.CacheHit,
+					Wildcard:   r.PCB != nil && r.Wildcard,
+					Miss:       r.PCB == nil,
+				})
 			}
 			after := tb.stats()
 			if after.Lookups == before.Lookups {
@@ -369,6 +446,7 @@ func runAdversarial(out io.Writer, chains int, seed uint64, hashName string, att
 		return err
 	}
 	server := engine.NewStack(hashfn.ServerEndpoint.Addr, core.NewSequentHash(chains, nil), seed|1)
+	server.SetTelemetry(reg)
 	server.Backlog = 64
 	server.SynCookies = cookies
 	if err := server.Listen(hashfn.ServerEndpoint.Port, func(_ *engine.Conn, p []byte) []byte {
@@ -413,6 +491,29 @@ func runAdversarial(out io.Writer, chains int, seed uint64, hashName string, att
 	fmt.Fprintf(w, "dropped-bad-cookie\t%d\n", st.DroppedBadCookie)
 	fmt.Fprintf(w, "table-pcbs\t%d\n", server.Demuxer().Len())
 	w.Flush()
+
+	// Part 3: the unified registry snapshot — examined histograms per
+	// discipline, chain-skew gauges, rekey counts, cookie issuance, and
+	// per-reason drops, all in one view.
+	fmt.Fprintf(out, "\n[3] telemetry snapshot\n\n")
+	if err := reg.Snapshot().WriteSummary(out); err != nil {
+		return err
+	}
+	if cfg.flight != "" {
+		f, err := os.Create(cfg.flight)
+		if err != nil {
+			return err
+		}
+		events := rec.Drain()
+		if err := telemetry.ExportTrace(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nflight capture: %d events to %s\n", len(events), cfg.flight)
+	}
 	return nil
 }
 

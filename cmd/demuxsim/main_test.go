@@ -1,10 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tcpdemux/internal/telemetry"
 )
 
 func TestRunTPCA(t *testing.T) {
@@ -148,15 +155,24 @@ func TestThinkDistFlag(t *testing.T) {
 	}
 }
 
+func advCfg(reg *telemetry.Registry, flight string) advConfig {
+	return advConfig{
+		chains: 19, seed: 42, hash: "multiplicative",
+		attackN: 1200, floodN: 600, cookies: true,
+		reg: reg, flight: flight,
+	}
+}
+
 func TestRunAdversarialWorkload(t *testing.T) {
 	var b strings.Builder
-	if err := runAdversarial(&b, 19, 42, "multiplicative", 1200, 600, true); err != nil {
+	if err := runAdversarial(&b, advCfg(nil, "")); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
 	for _, want := range []string{
 		"workload=adversarial", "sequent (undefended)", "guarded-sequent",
 		"rcu-guarded", "rekeys", "client-established", "cookies-sent",
+		"[3] telemetry snapshot",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("adversarial output missing %q:\n%s", want, out)
@@ -167,7 +183,191 @@ func TestRunAdversarialWorkload(t *testing.T) {
 			t.Errorf("legitimate client did not connect during flood: %s", line)
 		}
 	}
-	if err := runAdversarial(&b, 19, 42, "bogus-hash", 100, 100, true); err == nil {
+	bad := advCfg(nil, "")
+	bad.hash = "bogus-hash"
+	if err := runAdversarial(&b, bad); err == nil {
 		t.Error("unknown hash accepted")
+	}
+}
+
+// TestAdversarialSnapshotUnified is the ISSUE's centerpiece acceptance:
+// one registry snapshot from the adversarial run must show, together,
+// the per-discipline examined histograms, a chain-skew gauge, a rekey
+// count, and the per-reason drop counters.
+func TestAdversarialSnapshotUnified(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var b strings.Builder
+	if err := runAdversarial(&b, advCfg(reg, "")); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	find := func(names []string, name, labelVal string) bool {
+		for _, n := range names {
+			if n == name+"|"+labelVal {
+				return true
+			}
+		}
+		return false
+	}
+	var hists, counters, gauges []string
+	for _, h := range snap.Histograms {
+		v := ""
+		if len(h.Labels) > 0 {
+			v = h.Labels[0].Value
+		}
+		hists = append(hists, h.Name+"|"+v)
+	}
+	for _, c := range snap.Counters {
+		v := ""
+		if len(c.Labels) > 0 {
+			v = c.Labels[0].Value
+		}
+		counters = append(counters, c.Name+"|"+v)
+	}
+	for _, g := range snap.Gauges {
+		v := ""
+		if len(g.Labels) > 0 {
+			v = g.Labels[0].Value
+		}
+		gauges = append(gauges, g.Name+"|"+v)
+	}
+	for _, d := range []string{"sequent-undefended", "guarded-sequent", "rcu-guarded"} {
+		if !find(hists, "demux_examined_pcbs", d) {
+			t.Errorf("snapshot missing examined histogram for %s", d)
+		}
+	}
+	if !find(gauges, "overload_chain_skew", "guarded-sequent") {
+		t.Errorf("snapshot missing chain-skew gauge")
+	}
+	if !find(counters, "overload_rekeys_total", "guarded-sequent") {
+		t.Errorf("snapshot missing rekey counter")
+	}
+	if !find(counters, "engine_cookies_sent_total", "") {
+		t.Errorf("snapshot missing cookie counter")
+	}
+	if !find(counters, "engine_dropped_total", "bad-cookie") {
+		t.Errorf("snapshot missing per-reason drop counters")
+	}
+	var rekeys uint64
+	for _, c := range snap.Counters {
+		if c.Name == "overload_rekeys_total" {
+			rekeys += c.Value
+		}
+	}
+	if rekeys == 0 {
+		t.Errorf("attack run recorded zero rekeys")
+	}
+}
+
+// TestAdversarialFlightDeterministic runs the workload twice with the
+// same seed and requires byte-identical flight-recorder exports.
+func TestAdversarialFlightDeterministic(t *testing.T) {
+	capture := func() []byte {
+		path := filepath.Join(t.TempDir(), "flight.trace")
+		var b strings.Builder
+		if err := runAdversarial(&b, advCfg(nil, path)); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), "flight capture:") {
+			t.Fatalf("no flight confirmation:\n%s", b.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first, second := capture(), capture()
+	if len(first) == 0 {
+		t.Fatal("flight export is empty")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same-seed flight exports differ: %d vs %d bytes", len(first), len(second))
+	}
+}
+
+// TestMetricsEndpoint is the -metrics smoke test: run the adversarial
+// workload into a registry, serve it, scrape /metrics once, and verify
+// the Prometheus text parses and carries the expected series.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var b strings.Builder
+	if err := runAdversarial(&b, advCfg(reg, "")); err != nil {
+		t.Fatal(err)
+	}
+	addr, closeSrv, err := telemetry.Serve("127.0.0.1:0", reg.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeSrv()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	text := string(body)
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || parts[1] != "TYPE" {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("scrape returned no samples")
+	}
+	for _, want := range []string{"demux_examined_pcbs_bucket", "overload_chain_skew", "engine_dropped_total"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %s:\n%s", want, text)
+		}
+	}
+	jresp, err := http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(jresp.Body).Decode(&doc); err != nil {
+		t.Fatalf("metrics.json did not parse: %v", err)
+	}
+	if doc["histograms"] == nil {
+		t.Fatal("metrics.json missing histograms")
+	}
+}
+
+func TestRunParallelWithTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var b strings.Builder
+	if err := runParallel(&b, []string{"locked-sequent"}, 50, 2, 19, 1, 2, 500, 0, "multiplicative", reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"p50", "p90", "p99", "locked-sequent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("parallel output missing %q:\n%s", want, out)
+		}
+	}
+	snap := reg.Snapshot()
+	if len(snap.Histograms) == 0 || snap.Histograms[0].Count == 0 {
+		t.Fatal("parallel run recorded no examined observations")
 	}
 }

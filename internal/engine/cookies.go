@@ -64,13 +64,25 @@ type StackStats struct {
 	SynDrops uint64
 }
 
-// Stats returns a snapshot of the drop and cookie counters.
+// Stats returns a snapshot of the drop and cookie counters. It is a
+// thin view over the stack's telemetry counters (see Stack.SetTelemetry)
+// kept for existing callers and reports.
 func (s *Stack) Stats() StackStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := s.stats
-	st.SynDrops = s.SynDrops
-	return st
+	t := s.tel
+	return StackStats{
+		DroppedBadChecksum: t.DroppedBadChecksum.Value(),
+		DroppedBadFrame:    t.DroppedBadFrame.Value(),
+		DroppedNoRoute:     t.DroppedNoRoute.Value(),
+		DroppedNoListener:  t.DroppedNoListener.Value(),
+		DroppedRST:         t.DroppedRST.Value(),
+		DroppedBacklogFull: t.DroppedBacklogFull.Value(),
+		DroppedBadCookie:   t.DroppedBadCookie.Value(),
+		CookiesSent:        t.CookiesSent.Value(),
+		CookiesAccepted:    t.CookiesAccepted.Value(),
+		SynDrops:           s.SynDrops,
+	}
 }
 
 // cookieSecretSalt separates the cookie key's derivation from every other
@@ -109,7 +121,7 @@ func (s *Stack) sendCookieSynAck(seg *wire.Segment) {
 	if err != nil {
 		return
 	}
-	s.stats.CookiesSent++
+	s.tel.CookiesSent.Inc()
 	s.outbox = append(s.outbox, frame)
 }
 
@@ -122,7 +134,7 @@ func (s *Stack) acceptCookieACK(seg *wire.Segment, key core.Key) {
 	// consumed one octet), and a valid ACK acknowledges cookie+1.
 	isn := seg.TCP.Seq - 1
 	if s.cookieISS(seg.Tuple(), isn)+1 != seg.TCP.Ack {
-		s.stats.DroppedBadCookie++
+		s.tel.DroppedBadCookie.Inc()
 		s.sendRST(seg)
 		return
 	}
@@ -137,7 +149,7 @@ func (s *Stack) acceptCookieACK(seg *wire.Segment, key core.Key) {
 		// now (duplicate ACK racing itself); drop.
 		return
 	}
-	s.stats.CookiesAccepted++
+	s.tel.CookiesAccepted.Inc()
 	pcb.RxSegments++
 	pcb.RxBytes += uint64(len(seg.Payload))
 	if s.OnAccept != nil {

@@ -20,6 +20,7 @@ import (
 	"tcpdemux/internal/frag"
 	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/rng"
+	"tcpdemux/internal/telemetry"
 	"tcpdemux/internal/timer"
 	"tcpdemux/internal/wire"
 )
@@ -155,8 +156,10 @@ type Stack struct {
 	// cookie is the lazily derived SYN-cookie secret.
 	cookie     hashfn.Keyed
 	cookieInit bool
-	// stats holds the per-reason drop and cookie counters; see Stats().
-	stats  StackStats
+	// tel holds the per-reason drop, cookie, and lifecycle counters on a
+	// telemetry registry (a private one until SetTelemetry re-homes them);
+	// Stats() renders them as a StackStats view.
+	tel    *telemetry.StackMetrics
 	reasm  *frag.Reassembler
 	frames uint64 // delivered-frame counter, the reassembly clock
 	// usedPorts tracks ephemeral allocations (see ports.go).
@@ -193,7 +196,26 @@ func NewStack(addr wire.Addr, d core.Demuxer, seed uint64) *Stack {
 		halfOpen: make(map[uint16]int),
 		reasm:    frag.New(64),
 		wheel:    timer.New(timerTick),
+		tel:      telemetry.NewStackMetrics(telemetry.NewRegistry()),
 	}
+}
+
+// SetTelemetry re-homes the stack's counters on reg, so its drops,
+// cookies, and timer fires appear in the same snapshot as the demux and
+// overload metrics. Call it before delivering traffic: counts already
+// accumulated on the previous registry are not carried over.
+func (s *Stack) SetTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = telemetry.NewStackMetrics(reg)
+}
+
+// Telemetry returns the stack's counter bundle (for tests and direct
+// snapshot access).
+func (s *Stack) Telemetry() *telemetry.StackMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tel
 }
 
 // Addr returns the stack's address.
@@ -377,14 +399,14 @@ func (s *Stack) Deliver(frame []byte) (core.Result, error) {
 	}
 	if err != nil {
 		if errors.Is(err, wire.ErrTCPBadChecksum) || errors.Is(err, wire.ErrIPv4BadChecksum) {
-			s.stats.DroppedBadChecksum++
+			s.tel.DroppedBadChecksum.Inc()
 		} else {
-			s.stats.DroppedBadFrame++
+			s.tel.DroppedBadFrame.Inc()
 		}
 		return core.Result{}, err
 	}
 	if seg.IP.Dst != s.addr {
-		s.stats.DroppedNoRoute++
+		s.tel.DroppedNoRoute.Inc()
 		return core.Result{}, ErrNoRoute
 	}
 	key := core.KeyFromTuple(seg.Tuple())
@@ -392,11 +414,11 @@ func (s *Stack) Deliver(frame []byte) (core.Result, error) {
 	pcb := res.PCB
 	if pcb == nil {
 		if seg.TCP.Flags&wire.FlagRST == 0 {
-			s.stats.DroppedNoListener++
+			s.tel.DroppedNoListener.Inc()
 			s.sendRST(seg)
 		} else {
 			// RFC 793: never reset a reset.
-			s.stats.DroppedRST++
+			s.tel.DroppedRST.Inc()
 		}
 		return res, nil
 	}
@@ -566,6 +588,7 @@ func (s *Stack) handleListen(listener *core.PCB, seg *wire.Segment, key core.Key
 	}
 	if s.halfOpen[key.LocalPort] >= backlog {
 		s.SynDrops++
+		s.tel.SynDrops.Inc()
 		if s.SynCookies {
 			// Backlog full: answer statelessly instead of shedding the
 			// SYN, so a legitimate client can still complete — the whole
@@ -575,7 +598,7 @@ func (s *Stack) handleListen(listener *core.PCB, seg *wire.Segment, key core.Key
 		}
 		// Backlog full: drop the SYN silently, as listen(2) queues do —
 		// the client's retransmission will retry after the flood ebbs.
-		s.stats.DroppedBacklogFull++
+		s.tel.DroppedBacklogFull.Inc()
 		return
 	}
 	pcb := core.NewPCB(key)

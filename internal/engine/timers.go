@@ -150,11 +150,15 @@ func (s *Stack) retransmitExpired(pcb *core.PCB, cd *connData) {
 	}
 	if cd.retries >= s.maxRetries() {
 		s.Aborts++
+		s.tel.Aborts.Inc()
+		s.tel.TimerFires.Inc()
 		s.abortPCB(pcb)
 		return
 	}
 	cd.retries++
 	s.Retransmits++
+	s.tel.Retransmits.Inc()
+	s.tel.TimerFires.Inc()
 	s.requeueUnacked(pcb, cd)
 	s.armRetransmit(pcb, cd)
 }
@@ -188,6 +192,8 @@ func (s *Stack) armSynRcvdExpiry(pcb *core.PCB) {
 			return
 		}
 		s.SynExpired++
+		s.tel.SynExpired.Inc()
+		s.tel.TimerFires.Inc()
 		s.releaseHalfOpen(pcb)
 		s.teardown(pcb)
 	})
@@ -208,6 +214,8 @@ func (s *Stack) armTimeWait(pcb *core.PCB) {
 			return
 		}
 		s.TimeWaitExpired++
+		s.tel.TimeWaitExpired.Inc()
+		s.tel.TimerFires.Inc()
 		s.unTimeWait(pcb)
 		s.teardown(pcb)
 	})

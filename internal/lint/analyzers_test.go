@@ -32,6 +32,14 @@ func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, HotAlloc(), "halloc")
 }
 
+// TestTelemetryMetricFixture runs atomicfield and hotalloc together over
+// telemetry-idiom metric code (striped atomic slots observed by
+// zero-alloc hot paths), the combination demuxvet applies to
+// internal/telemetry.
+func TestTelemetryMetricFixture(t *testing.T) {
+	runFixtureAll(t, []*Analyzer{AtomicField(), HotAlloc()}, "tmetric")
+}
+
 // TestHotAllocSilentOffHotpath runs hotalloc on the allocation-heavy
 // mapiter fixture, which has no //demux:hotpath markers: no diagnostics.
 func TestHotAllocSilentOffHotpath(t *testing.T) {

@@ -85,6 +85,29 @@ func runFixture(t *testing.T, a *Analyzer, pkg string) {
 	}
 }
 
+// runFixtureAll runs several analyzers together over one fixture — the
+// way demuxvet runs the whole suite over a real package — and checks
+// the combined diagnostics against the fixture's // want expectations.
+func runFixtureAll(t *testing.T, as []*Analyzer, pkg string) {
+	t.Helper()
+	p := loadFixture(t, pkg)
+	diags, err := Run(p, as)
+	if err != nil {
+		t.Fatalf("running %d analyzers on %s: %v", len(as), pkg, err)
+	}
+	wants := parseWants(t, p)
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
 // claim marks the first unconsumed expectation matching the diagnostic.
 func claim(wants []*want, file string, line int, msg string) bool {
 	for _, w := range wants {

@@ -33,6 +33,7 @@ import (
 	"tcpdemux/internal/core"
 	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/rng"
+	"tcpdemux/internal/telemetry"
 )
 
 // Config tunes the watchdog and the migration.
@@ -177,7 +178,15 @@ type Guarded struct {
 	Rekeys int
 	// MigratedPCBs counts PCBs moved by the incremental migration.
 	MigratedPCBs uint64
+
+	// tel mirrors the counters above (plus chain-skew gauges) onto a
+	// telemetry registry; nil until SetTelemetry.
+	tel *telemetry.OverloadMetrics
 }
+
+// SetTelemetry publishes the guard's rekey/migration counters and
+// watchdog chain observations on m (nil disables).
+func (g *Guarded) SetTelemetry(m *telemetry.OverloadMetrics) { g.tel = m }
 
 // NewGuarded wraps a fresh SequentHash of h chains (core.DefaultChains if
 // h <= 0) using fn as the initial hash — pass an unkeyed hash to model a
@@ -343,6 +352,7 @@ func (g *Guarded) maybeRekey() {
 		return
 	}
 	lengths := g.cur.ChainLengths()
+	g.tel.ObserveChains(lengths)
 	if !Skewed(lengths, g.cfg) && !Overloaded(lengths, g.cfg) {
 		return
 	}
@@ -356,6 +366,9 @@ func (g *Guarded) maybeRekey() {
 	g.next = core.NewSequentHash(chainsFor(int(pop), g.cur.NumChains(), g.cfg), hashfn.KeyedFromRNG(g.src))
 	g.migrate = 0
 	g.Rekeys++
+	if g.tel != nil {
+		g.tel.Rekeys.Inc()
+	}
 	// Listeners move immediately: there are few of them, and housing them
 	// in one table keeps the lookup combine trivial.
 	var listeners []*core.PCB
@@ -395,6 +408,9 @@ func (g *Guarded) stepN(stride int) {
 				panic("overload: migration found duplicate key: " + err.Error())
 			}
 			g.MigratedPCBs++
+			if g.tel != nil {
+				g.tel.Migrated.Inc()
+			}
 		}
 		g.migrate++
 	}

@@ -9,6 +9,7 @@ import (
 	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/rcu"
 	"tcpdemux/internal/rng"
+	"tcpdemux/internal/telemetry"
 )
 
 // tablePair is the atomically published view of the RCU migration: cur is
@@ -103,6 +104,18 @@ type RCUGuarded struct {
 	Rekeys int
 	// MigratedPCBs counts PCBs moved by the incremental migration.
 	MigratedPCBs uint64
+
+	// tel mirrors the counters above (plus chain-skew gauges) onto a
+	// telemetry registry; nil until SetTelemetry. Guarded by mu.
+	tel *telemetry.OverloadMetrics
+}
+
+// SetTelemetry publishes the guard's rekey/migration counters and
+// watchdog chain observations on m (nil disables).
+func (d *RCUGuarded) SetTelemetry(m *telemetry.OverloadMetrics) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tel = m
 }
 
 // NewRCUGuarded wraps a fresh rcu.Demuxer of h chains (core.DefaultChains
@@ -319,6 +332,7 @@ func (d *RCUGuarded) maybeRekeyLocked(pair *tablePair) {
 		return
 	}
 	lengths := pair.cur.ChainLengths()
+	d.tel.ObserveChains(lengths)
 	if !Skewed(lengths, d.cfg) && !Overloaded(lengths, d.cfg) {
 		return
 	}
@@ -346,6 +360,9 @@ func (d *RCUGuarded) maybeRekeyLocked(pair *tablePair) {
 	}
 	d.migrate = 0
 	d.Rekeys++
+	if d.tel != nil {
+		d.tel.Rekeys.Inc()
+	}
 }
 
 // stepLocked advances the migration by up to n chains, publishing the
@@ -366,6 +383,9 @@ func (d *RCUGuarded) stepLocked(pair *tablePair, n int) {
 			}
 			cur.Remove(p.Key)
 			d.MigratedPCBs++
+			if d.tel != nil {
+				d.tel.Migrated.Inc()
+			}
 		}
 		d.migrate++
 	}

@@ -1,0 +1,148 @@
+// Exposition writers: Prometheus text format, JSON, and the human
+// summary table. All three operate on a Snapshot, never on live
+// metrics, so writing is lock-free and deterministic.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// promLabels renders a label set in Prometheus series syntax, with
+// extra appended after the metric's own labels (used for the
+// histogram "le" label).
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, histograms
+// as cumulative _bucket series with le bounds plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	family := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	for _, c := range s.Counters {
+		family(c.Name, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", c.Name, promLabels(c.Labels), c.Value)
+	}
+	for _, g := range s.Gauges {
+		family(g.Name, "gauge")
+		fmt.Fprintf(w, "%s%s %g\n", g.Name, promLabels(g.Labels), g.Value)
+	}
+	for _, h := range s.Histograms {
+		family(h.Name, "histogram")
+		var cum uint64
+		for i, c := range h.Bucket {
+			cum += c
+			// Skip interior empty buckets to keep the series compact; the
+			// first, any populated, and the +Inf buckets always appear.
+			if c == 0 && i > 0 && i < len(h.Bucket)-1 {
+				continue
+			}
+			le := L("le", fmt.Sprintf("%d", BucketUpper(i)))
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, le), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, L("le", "+Inf")), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %d\n", h.Name, promLabels(h.Labels), h.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", h.Name, promLabels(h.Labels), h.Count)
+	}
+	return nil
+}
+
+// histDerived is the derived-statistics block attached to each histogram
+// in the JSON exposition.
+type histDerived struct {
+	HistogramSnapshot
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+}
+
+// jsonSnapshot is the JSON exposition document.
+type jsonSnapshot struct {
+	Counters   []CounterSnapshot `json:"counters"`
+	Gauges     []GaugeSnapshot   `json:"gauges"`
+	Histograms []histDerived     `json:"histograms"`
+}
+
+// WriteJSON renders the snapshot as an indented JSON document, each
+// histogram augmented with its mean and p50/p90/p99 estimates.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	doc := jsonSnapshot{Counters: s.Counters, Gauges: s.Gauges}
+	for _, h := range s.Histograms {
+		doc.Histograms = append(doc.Histograms, histDerived{
+			HistogramSnapshot: h,
+			Mean:              h.Mean(),
+			P50:               h.Quantile(0.50),
+			P90:               h.Quantile(0.90),
+			P99:               h.Quantile(0.99),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// labelSuffix renders a label set for the summary table.
+func labelSuffix(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteSummary renders the snapshot as an aligned human-readable table:
+// counters and gauges as name/value rows, histograms with count, mean,
+// p50/p90/p99 estimates, and max.
+func (s Snapshot) WriteSummary(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(tw, "COUNTER\tVALUE")
+		for _, c := range s.Counters {
+			fmt.Fprintf(tw, "%s%s\t%d\n", c.Name, labelSuffix(c.Labels), c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "GAUGE\tVALUE")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(tw, "%s%s\t%.3f\n", g.Name, labelSuffix(g.Labels), g.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(tw, "HISTOGRAM\tCOUNT\tMEAN\tP50\tP90\tP99\tMAX")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(tw, "%s%s\t%d\t%.3f\t%.1f\t%.1f\t%.1f\t%d\n",
+				h.Name, labelSuffix(h.Labels), h.Count, h.Mean(),
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max)
+		}
+	}
+	return tw.Flush()
+}

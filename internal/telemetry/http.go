@@ -1,0 +1,44 @@
+// Runtime exposition over HTTP: a handler serving the Prometheus and
+// JSON writers from a snapshot source, and a tiny server wrapper for
+// demuxsim's -metrics flag.
+//
+// This file deliberately touches no virtual time — net/http lives on
+// the wall clock, and the telemetry package sits outside the simulator's
+// virtual-time boundary (it is not in demuxvet's VirtualTimePackages).
+package telemetry
+
+import (
+	"net"
+	"net/http"
+)
+
+// Handler serves metrics from src, which is called once per request so
+// scrapes always see current values:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  JSON snapshot with derived percentiles
+func Handler(src func() Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		src().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		src().WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve starts an HTTP exposition server on addr (host:port; port 0
+// picks a free port). It returns the bound address and a close function
+// that shuts the listener down.
+func Serve(addr string, src func() Snapshot) (bound string, close func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(src)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tcpdemux/internal/trace"
+	"tcpdemux/internal/wire"
+)
+
+// DropReason classifies why a delivered frame produced no connection
+// progress — the engine's per-reason drop taxonomy, carried on flight
+// events so a drop's tuple and timing survive next to its counter.
+type DropReason uint8
+
+// Drop reasons, mirroring engine.StackStats.
+const (
+	DropNone DropReason = iota
+	DropBadChecksum
+	DropBadFrame
+	DropNoRoute
+	DropNoListener
+	DropRST
+	DropBacklogFull
+	DropBadCookie
+)
+
+// String names the reason.
+func (d DropReason) String() string {
+	switch d {
+	case DropNone:
+		return "none"
+	case DropBadChecksum:
+		return "bad-checksum"
+	case DropBadFrame:
+		return "bad-frame"
+	case DropNoRoute:
+		return "no-route"
+	case DropNoListener:
+		return "no-listener"
+	case DropRST:
+		return "rst"
+	case DropBacklogFull:
+		return "backlog-full"
+	case DropBadCookie:
+		return "bad-cookie"
+	}
+	return "unknown"
+}
+
+// Event is one demultiplexing event in the flight recorder: what a
+// kernel's packet-trace ring would capture about the lookup step.
+type Event struct {
+	// Time is the event's virtual timestamp; Seq is the recorder-assigned
+	// global sequence number. (Time, Seq) totally orders a drained run.
+	Time float64
+	Seq  uint64
+	// Tuple identifies the packet's connection (inbound orientation).
+	Tuple wire.Tuple
+	// Discipline names the demuxer that served the lookup.
+	Discipline string
+	// Chain is the hash chain probed, or -1 when the structure has no
+	// chain notion (or the wrapper cannot see it).
+	Chain int32
+	// Examined is the PCBs-touched count for the lookup.
+	Examined int32
+	// Hit marks a one-entry-cache hit; Wildcard a listener match; Miss a
+	// lookup that found no PCB; Ack a pure-acknowledgement lookup.
+	Hit      bool
+	Wildcard bool
+	Miss     bool
+	Ack      bool
+	// Drop is the disposition of the packet after the lookup (DropNone
+	// when it progressed a connection).
+	Drop DropReason
+}
+
+// recShard is one fixed-capacity ring of events. The trailing pad keeps
+// neighbouring shards' mutexes off one cache line.
+type recShard struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+	_    [32]byte
+}
+
+// FlightRecorder keeps the most recent demux events in per-shard ring
+// buffers. Record is zero-alloc (the rings are pre-allocated) and
+// contention-striped; Drain merges every shard into one deterministic
+// (time, seq)-ordered slice and resets the rings.
+type FlightRecorder struct {
+	shards []recShard
+	mask   uint32
+	seq    atomic.Uint64 //demux:atomic
+}
+
+// maxRecShards caps the shard count; each shard costs perShard copies
+// of Event.
+const maxRecShards = 8
+
+// NewFlightRecorder builds a recorder keeping up to perShard events in
+// each of its shards (shard count: next power of two covering
+// GOMAXPROCS, capped at maxRecShards). perShard below 16 is raised
+// to 16.
+func NewFlightRecorder(perShard int) *FlightRecorder {
+	if perShard < 16 {
+		perShard = 16
+	}
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < maxRecShards {
+		n <<= 1
+	}
+	fr := &FlightRecorder{shards: make([]recShard, n), mask: uint32(n - 1)}
+	for i := range fr.shards {
+		fr.shards[i].buf = make([]Event, perShard)
+	}
+	return fr
+}
+
+// Record appends one event, assigning its global sequence number. When a
+// shard's ring is full the oldest event in that shard is overwritten —
+// flight-recorder semantics: the recent past is what matters.
+//
+//demux:hotpath
+func (fr *FlightRecorder) Record(e Event) {
+	e.Seq = fr.seq.Add(1) - 1
+	sh := &fr.shards[stripeIdx(fr.mask)]
+	sh.mu.Lock()
+	sh.buf[sh.next] = e
+	sh.next++
+	if sh.next == len(sh.buf) {
+		sh.next = 0
+		sh.full = true
+	}
+	sh.mu.Unlock()
+}
+
+// Drain collects every retained event, sorted by (Time, Seq), and
+// resets the rings. Seq is unique per event, so the order is total and
+// the output deterministic for a deterministic event stream.
+func (fr *FlightRecorder) Drain() []Event {
+	var out []Event
+	for i := range fr.shards {
+		sh := &fr.shards[i]
+		sh.mu.Lock()
+		if sh.full {
+			out = append(out, sh.buf[sh.next:]...)
+		}
+		out = append(out, sh.buf[:sh.next]...)
+		sh.next = 0
+		sh.full = false
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// ExportTrace writes drained events in the internal/trace binary format,
+// so a flight-recorder capture replays through trace.Replay exactly like
+// a recorded workload stream. Only the fields the trace format carries
+// (time, tuple, ack) survive the export.
+func ExportTrace(w io.Writer, events []Event) error {
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := tw.Write(trace.Event{Time: e.Time, Tuple: e.Tuple, Ack: e.Ack}); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
