@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race chaos bench bench-json bench-json-adversarial fuzz figures clean
+.PHONY: all build vet lint test race chaos bench bench-json bench-json-adversarial bench-json-cache bench-gate fuzz figures clean
 
 all: build vet lint test
 
@@ -33,11 +33,11 @@ FORCE:
 # -metrics endpoint smoke test.
 test: vet lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer ./internal/telemetry
+	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/flat ./internal/engine ./internal/timer ./internal/telemetry
 	$(GO) test -run 'TestMetricsEndpoint|TestAdversarialSnapshotUnified' -count=1 ./cmd/demuxsim
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/engine ./internal/timer ./internal/telemetry
+	$(GO) test -race ./internal/parallel ./internal/rcu ./internal/flat ./internal/engine ./internal/timer ./internal/telemetry
 
 # chaos runs the adversarial conformance suite under the race detector:
 # collision attacks with online rekey (overload), scripted link faults
@@ -63,12 +63,32 @@ bench-json:
 bench-json-adversarial:
 	$(GO) run ./cmd/benchjson -workload adversarial -ops 200000 -out BENCH_adversarial.json
 
+# bench-json-cache measures the cache-conscious flat tables (hopscotch,
+# bucketized cuckoo) against the chained disciplines, per-packet and in
+# prefetch-pipelined batches across depths k, and writes BENCH_cache.json
+# with internal/cachesim stall estimates embedded (EXP-CACHE).
+bench-json-cache:
+	$(GO) run ./cmd/benchjson -workload cache -gomaxprocs 4 -workers 16 -rounds 5 -ops 20000 -n 6000 -out BENCH_cache.json
+
+# bench-gate is the perf regression gate: it remeasures the cache
+# workload at the committed artifact's operating point and fails if any
+# shared configuration's best nsPerOp regressed beyond the tolerance.
+# The default tolerance is deliberately generous because CI hosts differ
+# from the host that produced the committed BENCH_cache.json — the gate
+# exists to catch algorithmic blowups, not single-digit drift.
+BENCH_TOLERANCE ?= 1.0
+bench-gate:
+	@mkdir -p bin
+	$(GO) run ./cmd/benchjson -workload cache -gomaxprocs 4 -workers 16 -rounds 3 -ops 20000 -n 6000 -out bin/BENCH_cache.head.json
+	$(GO) run ./cmd/benchjson -compare BENCH_cache.json bin/BENCH_cache.head.json -tolerance $(BENCH_TOLERANCE)
+
 # Short fuzz pass over the wire parsers and the full receive path
 # (CI-sized; raise FUZZTIME locally).
 fuzz:
 	$(GO) test -fuzz=FuzzParseSegment -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz=FuzzExtractTuple -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz=FuzzDeliver -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test -fuzz=FuzzFlatOps -fuzztime=$(FUZZTIME) ./internal/flat
 
 figures:
 	$(GO) run ./cmd/figures -fig 4

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// defaultTolerance is the allowed fractional nsPerOp growth before the
+// gate fails. 15% absorbs best-of-rounds jitter on shared CI hosts while
+// still catching a real regression in a lookup path.
+const defaultTolerance = 0.15
+
+// gateReport is the minimal shape the gate needs from any benchjson
+// report — parallel and cache both carry per-configuration best rounds.
+// The adversarial report has no nsPerOp and is not comparable.
+type gateReport struct {
+	Benchmark string   `json:"benchmark"`
+	Results   []result `json:"results"`
+}
+
+// delta is one configuration's old-vs-new comparison on the best round's
+// nsPerOp. Change is fractional — positive means the new run is slower.
+type delta struct {
+	Config    string
+	OldNs     float64
+	NewNs     float64
+	Change    float64
+	Regressed bool
+}
+
+// compareReports pairs configurations present in both reports by
+// discipline/mode and flags any whose best nsPerOp grew beyond tol.
+// Configurations present in only one report are skipped: the gate
+// compares like with like and must not fail when a new run adds modes.
+func compareReports(oldRep, newRep *gateReport, tol float64) ([]delta, error) {
+	oldBest := make(map[string]float64, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBest[r.Discipline+"/"+r.Mode] = r.Best.NsPerOp
+	}
+	var deltas []delta
+	for _, r := range newRep.Results {
+		key := r.Discipline + "/" + r.Mode
+		oldNs, ok := oldBest[key]
+		if !ok || oldNs <= 0 || r.Best.NsPerOp <= 0 {
+			continue
+		}
+		change := (r.Best.NsPerOp - oldNs) / oldNs
+		deltas = append(deltas, delta{
+			Config: key, OldNs: oldNs, NewNs: r.Best.NsPerOp,
+			Change: change, Regressed: change > tol,
+		})
+	}
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("reports share no measured configurations (%q vs %q)",
+			oldRep.Benchmark, newRep.Benchmark)
+	}
+	return deltas, nil
+}
+
+func loadGateReport(path string) (*gateReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep gateReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results — not a parallel/cache benchjson report", path)
+	}
+	return &rep, nil
+}
+
+// runCompare implements `benchjson -compare old.json new.json
+// [-tolerance 0.15]` and returns the process exit code: 0 when every
+// shared configuration is within tolerance, 1 on regression, 2 on usage
+// or input errors. flag.Parse stops at the first positional argument, so
+// a -tolerance given after the file names lands in args and is parsed
+// here.
+func runCompare(args []string, tol float64, w io.Writer) int {
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		val := ""
+		switch {
+		case strings.HasPrefix(a, "-tolerance=") || strings.HasPrefix(a, "--tolerance="):
+			val = a[strings.Index(a, "=")+1:]
+		case a == "-tolerance" || a == "--tolerance":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(w, "benchjson: -tolerance needs a value")
+				return 2
+			}
+			val = args[i]
+		default:
+			paths = append(paths, a)
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil || v < 0 {
+			fmt.Fprintf(w, "benchjson: bad tolerance %q\n", val)
+			return 2
+		}
+		tol = v
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(w, "usage: benchjson -compare old.json new.json [-tolerance 0.15]")
+		return 2
+	}
+	oldRep, err := loadGateReport(paths[0])
+	if err != nil {
+		fmt.Fprintln(w, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadGateReport(paths[1])
+	if err != nil {
+		fmt.Fprintln(w, "benchjson:", err)
+		return 2
+	}
+	deltas, err := compareReports(oldRep, newRep, tol)
+	if err != nil {
+		fmt.Fprintln(w, "benchjson:", err)
+		return 2
+	}
+	regressed := 0
+	for _, d := range deltas {
+		mark := "ok  "
+		if d.Regressed {
+			mark = "FAIL"
+			regressed++
+		}
+		fmt.Fprintf(w, "%s %-36s %10.1f -> %10.1f ns/op (%+.1f%%)\n",
+			mark, d.Config, d.OldNs, d.NewNs, 100*d.Change)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "benchjson: %d configuration(s) regressed beyond the %.0f%% nsPerOp tolerance\n",
+			regressed, tol*100)
+		return 1
+	}
+	fmt.Fprintf(w, "benchjson: %d configuration(s) within the %.0f%% nsPerOp tolerance\n",
+		len(deltas), tol*100)
+	return 0
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// gateFile writes a minimal report with the given best nsPerOp per
+// "discipline/mode" configuration and returns its path.
+func gateFile(t *testing.T, name string, ns map[string]float64) string {
+	t.Helper()
+	rep := gateReport{Benchmark: "test"}
+	for cfg, v := range ns {
+		d, m, _ := strings.Cut(cfg, "/")
+		rep.Results = append(rep.Results, result{
+			Discipline: d, Mode: m, Best: round{NsPerOp: v, LookupsPerSec: 1e9 / v},
+		})
+	}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareReports(t *testing.T) {
+	oldRep := &gateReport{Results: []result{
+		{Discipline: "rcu-sequent", Mode: "perpacket", Best: round{NsPerOp: 100}},
+		{Discipline: "flat-hopscotch", Mode: "batch64-k4", Best: round{NsPerOp: 40}},
+		{Discipline: "gone", Mode: "perpacket", Best: round{NsPerOp: 10}},
+	}}
+	newRep := &gateReport{Results: []result{
+		{Discipline: "rcu-sequent", Mode: "perpacket", Best: round{NsPerOp: 110}},
+		{Discipline: "flat-hopscotch", Mode: "batch64-k4", Best: round{NsPerOp: 60}},
+		{Discipline: "added", Mode: "perpacket", Best: round{NsPerOp: 5}},
+	}}
+	deltas, err := compareReports(oldRep, newRep, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 shared configs: %+v", len(deltas), deltas)
+	}
+	byCfg := map[string]delta{}
+	for _, d := range deltas {
+		byCfg[d.Config] = d
+	}
+	if d := byCfg["rcu-sequent/perpacket"]; d.Regressed || d.Change < 0.09 || d.Change > 0.11 {
+		t.Fatalf("10%% growth inside tolerance misjudged: %+v", d)
+	}
+	if d := byCfg["flat-hopscotch/batch64-k4"]; !d.Regressed {
+		t.Fatalf("50%% growth not flagged: %+v", d)
+	}
+
+	if _, err := compareReports(oldRep, &gateReport{Results: []result{
+		{Discipline: "other", Mode: "x", Best: round{NsPerOp: 1}},
+	}}, 0.15); err == nil {
+		t.Fatal("disjoint reports should error")
+	}
+}
+
+func TestRunCompareGate(t *testing.T) {
+	base := map[string]float64{
+		"rcu-sequent/perpacket":     100,
+		"locked-sequent/perpacket":  300,
+		"flat-hopscotch/batch64-k4": 40,
+	}
+	slower := map[string]float64{
+		"rcu-sequent/perpacket":     130, // +30%: beyond 15%
+		"locked-sequent/perpacket":  310,
+		"flat-hopscotch/batch64-k4": 41,
+	}
+	faster := map[string]float64{
+		"rcu-sequent/perpacket":     90,
+		"locked-sequent/perpacket":  305, // +1.7%: inside
+		"flat-hopscotch/batch64-k4": 35,
+	}
+	old := gateFile(t, "old.json", base)
+
+	var out bytes.Buffer
+	if code := runCompare([]string{old, gateFile(t, "ok.json", faster)}, defaultTolerance, &out); code != 0 {
+		t.Fatalf("within-tolerance run exited %d: %s", code, out.String())
+	}
+	out.Reset()
+	if code := runCompare([]string{old, gateFile(t, "bad.json", slower)}, defaultTolerance, &out); code != 1 {
+		t.Fatalf("regression exited %d, want 1: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL rcu-sequent/perpacket") {
+		t.Fatalf("regressed config not named:\n%s", out.String())
+	}
+
+	// A trailing -tolerance (after the positional file names, the
+	// documented CLI shape) must override the flag-parsed default.
+	out.Reset()
+	if code := runCompare([]string{old, gateFile(t, "bad2.json", slower), "-tolerance", "0.5"}, defaultTolerance, &out); code != 0 {
+		t.Fatalf("loose tolerance still failed (%d): %s", code, out.String())
+	}
+	out.Reset()
+	if code := runCompare([]string{old, gateFile(t, "bad3.json", slower), "-tolerance=0.5"}, defaultTolerance, &out); code != 0 {
+		t.Fatalf("-tolerance= form not honored (%d): %s", code, out.String())
+	}
+
+	// Usage and input errors exit 2, distinct from a regression.
+	for _, args := range [][]string{
+		{old},
+		{old, filepath.Join(t.TempDir(), "missing.json")},
+		{old, old, "-tolerance", "bogus"},
+	} {
+		out.Reset()
+		if code := runCompare(args, defaultTolerance, &out); code != 2 {
+			t.Fatalf("args %v exited %d, want 2: %s", args, code, out.String())
+		}
+	}
+}

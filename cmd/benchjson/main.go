@@ -1,7 +1,17 @@
-// Command benchjson runs the three locking disciplines head-to-head on
-// the read-heavy TPC/A mix — global lock, per-chain locks, and the
-// lock-free-read RCU table, per-packet and in batched trains — and writes
-// the measured rates as JSON (BENCH_parallel.json at the repo root).
+// Command benchjson runs the concurrent demultiplexers head-to-head on
+// the read-heavy TPC/A mix and writes the measured rates as JSON. Three
+// workloads share the harness:
+//
+//   - parallel (BENCH_parallel.json): the locking disciplines — global
+//     lock, per-chain locks, and the lock-free-read RCU table — per
+//     packet and in batched trains.
+//   - cache (BENCH_cache.json): the chained baselines against the
+//     cache-conscious open-addressing tables (flat-hopscotch,
+//     flat-cuckoo), per packet and batched, sweeping the batch path's
+//     prefetch pipeline depth k, with internal/cachesim stall estimates
+//     embedded beside the measured numbers.
+//   - adversarial (BENCH_adversarial.json): the collision attack and
+//     SYN flood against the defended tables.
 //
 // Methodology: every configuration is measured -rounds times with the
 // rounds interleaved round-robin across configurations, and the summary
@@ -12,9 +22,15 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_parallel.json] [-rounds 5] [-gomaxprocs 4]
-//	          [-workers 4*gomaxprocs] [-ops 200000] [-users 1000]
-//	          [-read 0.99] [-batch 64] [-chains 19] [-seed 7]
+//	benchjson [-workload parallel|cache|adversarial] [-out FILE]
+//	          [-rounds 5] [-gomaxprocs 4] [-workers 4*gomaxprocs]
+//	          [-ops 200000] [-users 1000] [-read 0.99] [-batch 64]
+//	          [-chains 19] [-seed 7]
+//
+// benchjson is also its own regression gate: -compare old.json new.json
+// [-tolerance 0.15] reads two reports of the same workload and exits
+// nonzero if any configuration's best nsPerOp regressed beyond the
+// tolerance (see compare.go).
 package main
 
 import (
@@ -119,7 +135,8 @@ type summary struct {
 
 func main() {
 	opt := defaults()
-	flag.StringVar(&opt.Out, "out", opt.Out, "output JSON path (- for stdout)")
+	opt.Out = "" // empty -> per-workload default, resolved after Parse
+	flag.StringVar(&opt.Out, "out", opt.Out, "output JSON path (- for stdout, default per workload)")
 	flag.IntVar(&opt.Rounds, "rounds", opt.Rounds, "interleaved measurement rounds per configuration")
 	flag.IntVar(&opt.GoMaxProcs, "gomaxprocs", opt.GoMaxProcs, "GOMAXPROCS for the measurement (acceptance point is >= 4)")
 	flag.IntVar(&opt.Workers, "workers", opt.Workers, "concurrent workers (0 = 4 x gomaxprocs)")
@@ -129,8 +146,21 @@ func main() {
 	flag.IntVar(&opt.Batch, "batch", opt.Batch, "train length for the batched mode")
 	flag.IntVar(&opt.Chains, "chains", opt.Chains, "hash chains")
 	flag.Uint64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
-	flag.StringVar(&opt.Workload, "workload", opt.Workload, "benchmark workload: parallel or adversarial")
+	flag.StringVar(&opt.Workload, "workload", opt.Workload, "benchmark workload: parallel, cache, or adversarial")
+	compareMode := flag.Bool("compare", false, "compare two report files (old new) and gate on nsPerOp regressions")
+	tolerance := flag.Float64("tolerance", defaultTolerance, "allowed fractional nsPerOp regression in -compare mode")
 	flag.Parse()
+
+	if *compareMode {
+		os.Exit(runCompare(flag.Args(), *tolerance, os.Stdout))
+	}
+	if opt.Out == "" {
+		opt.Out = map[string]string{
+			"parallel":    "BENCH_parallel.json",
+			"cache":       "BENCH_cache.json",
+			"adversarial": "BENCH_adversarial.json",
+		}[opt.Workload]
+	}
 
 	var rep any
 	var err error
@@ -144,6 +174,14 @@ func main() {
 				pr.Summary.RcuOverLocked, pr.Summary.RcuOverSharded)
 		}
 		rep = pr
+	case "cache":
+		var cr *cacheReport
+		cr, err = runCache(opt)
+		if cr != nil {
+			note = fmt.Sprintf("flat batch %.2fx over rcu per-packet (ns/op)",
+				cr.Summary.FlatBatchOverRcuPerPacket)
+		}
+		rep = cr
 	case "adversarial":
 		var ar *advReport
 		ar, err = runAdversarial(opt)
@@ -153,7 +191,7 @@ func main() {
 		}
 		rep = ar
 	default:
-		err = fmt.Errorf("unknown workload %q (have parallel, adversarial)", opt.Workload)
+		err = fmt.Errorf("unknown workload %q (have parallel, cache, adversarial)", opt.Workload)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -179,17 +217,40 @@ func main() {
 // disciplines are the head-to-head variants, global lock to lock-free.
 var disciplinesUnder = []string{"locked-sequent", "sharded-sequent", "rcu-sequent"}
 
-// run executes the interleaved measurement and assembles the report.
-func run(opt options) (*report, error) {
+// benchConfig names one measured configuration: a concurrent discipline
+// in one lookup mode. depth is the prefetch pipeline depth for the flat
+// tables' batch path; -1 leaves the table's default untouched (chained
+// disciplines ignore it entirely).
+type benchConfig struct {
+	discipline string
+	mode       string
+	batch      int
+	depth      int
+}
+
+// hostInfo captures the host facts at measurement time — inside the
+// GOMAXPROCS window the workers actually ran under, not whatever the
+// process was restored to afterwards.
+type hostInfo struct {
+	NumCPU     int
+	GoMaxProcs int
+}
+
+// measureConfigs runs the interleaved best-of-rounds measurement over
+// the given configurations: round 1 of every configuration, then round
+// 2, ... so machine drift lands on all configurations alike. It returns
+// one result per configuration plus the accumulated telemetry registry.
+func measureConfigs(opt options, configs []benchConfig) ([]result, *telemetry.Registry, hostInfo, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = 4 * opt.GoMaxProcs
 	}
 	prev := runtime.GOMAXPROCS(opt.GoMaxProcs)
 	defer runtime.GOMAXPROCS(prev)
+	host := hostInfo{NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	stream, err := parallel.TPCAStream(opt.Users, opt.TxnsPer, opt.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, host, err
 	}
 
 	churn := make([][]core.Key, opt.Workers)
@@ -197,19 +258,6 @@ func run(opt options) (*report, error) {
 		base := opt.Users + 100 + w*opt.ChurnKeys
 		for i := 0; i < opt.ChurnKeys; i++ {
 			churn[w] = append(churn[w], tpca.UserKey(base+i))
-		}
-	}
-
-	type config struct {
-		discipline string
-		mode       string
-		batch      int
-	}
-	var configs []config
-	for _, name := range disciplinesUnder {
-		configs = append(configs, config{name, "perpacket", 0})
-		if opt.Batch > 1 {
-			configs = append(configs, config{name, fmt.Sprintf("batch%d", opt.Batch), opt.Batch})
 		}
 	}
 
@@ -221,18 +269,21 @@ func run(opt options) (*report, error) {
 		metrics[i] = telemetry.NewDemuxMetrics(reg,
 			fmt.Sprintf("%s/%s", c.discipline, c.mode))
 	}
-	// Interleave: round 1 of every configuration, then round 2, ... so
-	// machine drift lands on all configurations alike.
 	for r := 0; r < opt.Rounds; r++ {
 		for i, c := range configs {
 			inner, err := parallel.New(c.discipline, core.Config{Chains: opt.Chains})
 			if err != nil {
-				return nil, err
+				return nil, nil, host, err
+			}
+			if c.depth >= 0 {
+				if s, ok := inner.(interface{ SetPrefetchDepth(int) }); ok {
+					s.SetPrefetchDepth(c.depth)
+				}
 			}
 			d := telemetry.InstrumentConcurrent(inner, metrics[i], nil, nil)
 			for u := 0; u < opt.Users; u++ {
 				if err := d.Insert(core.NewPCB(tpca.UserKey(u))); err != nil {
-					return nil, err
+					return nil, nil, host, err
 				}
 			}
 			before := metrics[i].ExaminedSnapshot()
@@ -242,7 +293,7 @@ func run(opt options) (*report, error) {
 				Seed: opt.Seed + uint64(r),
 			})
 			if err != nil {
-				return nil, err
+				return nil, nil, host, err
 			}
 			h := histDiff(metrics[i].ExaminedSnapshot(), before)
 			rd := round{
@@ -259,6 +310,25 @@ func run(opt options) (*report, error) {
 				results[i].Best = rd
 			}
 		}
+	}
+	return results, reg, host, nil
+}
+
+// run executes the interleaved measurement and assembles the report.
+func run(opt options) (*report, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 4 * opt.GoMaxProcs
+	}
+	var configs []benchConfig
+	for _, name := range disciplinesUnder {
+		configs = append(configs, benchConfig{name, "perpacket", 0, -1})
+		if opt.Batch > 1 {
+			configs = append(configs, benchConfig{name, fmt.Sprintf("batch%d", opt.Batch), opt.Batch, -1})
+		}
+	}
+	results, reg, host, err := measureConfigs(opt, configs)
+	if err != nil {
+		return nil, err
 	}
 
 	best := make(map[string]float64)
@@ -281,8 +351,8 @@ func run(opt options) (*report, error) {
 		Benchmark:  "parallel TPC/A read-heavy mix (parallel.MeasureThroughput)",
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: opt.GoMaxProcs,
+		NumCPU:     host.NumCPU,
+		GoMaxProcs: host.GoMaxProcs,
 		Config: map[string]any{
 			"users": opt.Users, "txnsPerUser": opt.TxnsPer,
 			"readFraction": opt.Read, "workers": opt.Workers,
@@ -326,13 +396,15 @@ type advTableResult struct {
 // advReport is the adversarial-workload JSON document
 // (BENCH_adversarial.json).
 type advReport struct {
-	Benchmark string             `json:"benchmark"`
-	GOOS      string             `json:"goos"`
-	GOARCH    string             `json:"goarch"`
-	Config    map[string]any     `json:"config"`
-	Tables    []advTableResult   `json:"tables"`
-	Flood     advFloodResult     `json:"flood"`
-	Telemetry telemetry.Snapshot `json:"telemetry"`
+	Benchmark  string             `json:"benchmark"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"numCPU"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Config     map[string]any     `json:"config"`
+	Tables     []advTableResult   `json:"tables"`
+	Flood      advFloodResult     `json:"flood"`
+	Telemetry  telemetry.Snapshot `json:"telemetry"`
 }
 
 // advFloodResult summarizes the SYN-flood half of the run.
@@ -408,9 +480,11 @@ func runAdversarial(opt options) (*advReport, error) {
 	}
 
 	rep := &advReport{
-		Benchmark: "adversarial collision attack + SYN flood",
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Benchmark:  "adversarial collision attack + SYN flood",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Config: map[string]any{
 			"chains": opt.Chains, "seed": opt.Seed,
 			"attack": attackN, "benign": benignN, "flood": floodN,

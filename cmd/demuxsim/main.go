@@ -27,7 +27,12 @@
 // The parallel workload replays a recorded TPC/A inbound stream through
 // the concurrent locking disciplines (-algos then names disciplines, e.g.
 // locked-sequent,sharded-sequent,rcu-sequent) with -workers goroutines,
-// optionally in -batch sized lookup trains.
+// optionally in -batch sized lookup trains. The cache-conscious
+// open-addressing tables register themselves as disciplines too
+// (flat-hopscotch, flat-cuckoo): their lookups probe a packed window of
+// 24-byte entries instead of chasing a PCB chain, and in batched mode
+// the train runs through the software-pipelined prefetching path; see
+// cmd/benchjson -workload cache for the measured comparison.
 package main
 
 import (

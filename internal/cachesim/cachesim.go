@@ -176,6 +176,19 @@ func (m *Model) ExaminePCB(idx int) {
 	}
 }
 
+// Touch accounts one raw access to the byte at addr — no PCB indexing,
+// no examination count. The flat-table replayers use it for probe-group
+// entry lines, which live in a packed table region rather than in any
+// PCB; the examination count for those probes is kept by the replayer,
+// since what is examined there is a 24-byte entry, not a PCB.
+func (m *Model) Touch(addr uint64) {
+	if m.Cache.Access(addr) {
+		m.Cycles += m.HitCycles
+	} else {
+		m.Cycles += m.MissCycles
+	}
+}
+
 // CyclesPerExam returns the average estimated cycles per PCB examination.
 func (m *Model) CyclesPerExam() float64 {
 	if m.Exams == 0 {
@@ -222,6 +235,79 @@ func BSDLookups(m *Model, n, lookups int, seed uint64) LookupCost {
 			}
 		}
 		cachePCB = target
+	}
+	return LookupCost{
+		Examined: totalExam / lookups,
+		Cycles:   (m.Cycles - startCycles) / float64(lookups),
+	}
+}
+
+// FlatLookups replays `lookups` flat-table (internal/flat) lookups over
+// n connections with uniform targets: a bounded contiguous window of
+// packed 24-byte entries is scanned from the target's home slot until
+// the match. The placement is a simplified hopscotch — first free slot
+// in the window, re-homing when a window is full, a stand-in for
+// displacement that yields the same occupancy statistics — at the same
+// ~3/4 pre-growth load factor the real table runs at.
+//
+// Two modeling points carry the comparison against the chained
+// replayers: entries are contiguous, so one 32-byte line holds parts of
+// two or three probes (the chained layouts pay at least a line per
+// examined PCB, at shuffled addresses); and the probe never touches a
+// PCB at all — the key and fingerprint are inline — so the PCB heap
+// stays out of the cache entirely during demultiplexing.
+func FlatLookups(m *Model, n, lookups int, seed uint64) LookupCost {
+	const (
+		entryBytes = 24
+		window     = 8
+	)
+	src := rng.New(seed)
+	size := 1
+	for 4*n > 3*size {
+		size <<= 1
+	}
+	slots := make([]int, size+window-1) // 0 = empty, else connection index + 1
+	home := make([]int, n)
+	for i := 0; i < n; i++ {
+		for {
+			h := src.Intn(size)
+			placed := false
+			for j := h; j < h+window; j++ {
+				if slots[j] == 0 {
+					slots[j] = i + 1
+					home[i] = h
+					placed = true
+					break
+				}
+			}
+			if placed {
+				break
+			}
+		}
+	}
+	// The table region is disjoint from the PCB heap, as in the real
+	// layout (entries in the table slice, PCBs behind the slab).
+	entryBase := uint64(n*m.PCBBytes) + 4096
+	var totalExam int
+	startCycles := m.Cycles
+	for i := 0; i < lookups; i++ {
+		target := src.Intn(n)
+		for j := home[target]; j < home[target]+window; j++ {
+			if slots[j] == 0 {
+				continue
+			}
+			totalExam++
+			m.Exams++
+			lo := entryBase + uint64(j*entryBytes)
+			hi := lo + entryBytes - 1
+			m.Touch(lo)
+			if lo>>m.Cache.lineBits != hi>>m.Cache.lineBits {
+				m.Touch(hi) // entry straddles a line boundary
+			}
+			if slots[j] == target+1 {
+				break
+			}
+		}
 	}
 	return LookupCost{
 		Examined: totalExam / lookups,

@@ -199,6 +199,56 @@ func TestSequentLookupsScaleWithChains(t *testing.T) {
 	}
 }
 
+// TestFlatLookupsBeatChained pins the EXP-CACHE claim at model level:
+// at TPC/A-like population, the packed flat-table probe costs a small
+// bounded number of examinations and far fewer modeled stall cycles per
+// lookup than the chained Sequent scan over the same connection count —
+// the examined window is at most 8 entries and the probe never touches
+// a PCB line. Also checks determinism: same seed, same numbers.
+func TestFlatLookupsBeatChained(t *testing.T) {
+	const n, h, lookups = 1900, 19, 5000
+	mkModel := func() *Model {
+		m, err := NewModel(Era1992, n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	seq := SequentLookups(mkModel(), n, h, lookups, 5)
+	flat := FlatLookups(mkModel(), n, lookups, 5)
+	if flat.Examined > 8 {
+		t.Fatalf("flat examined %d > window bound 8", flat.Examined)
+	}
+	if flat.Examined < 1 {
+		t.Fatalf("flat examined %d, want >= 1", flat.Examined)
+	}
+	if flat.Cycles*5 >= seq.Cycles {
+		t.Fatalf("flat modeled cycles %.1f not well under sequent %.1f", flat.Cycles, seq.Cycles)
+	}
+	if again := FlatLookups(mkModel(), n, lookups, 5); again != flat {
+		t.Fatalf("FlatLookups not deterministic: %+v vs %+v", again, flat)
+	}
+}
+
+// TestModelTouch checks the raw-address accounting FlatLookups builds on.
+func TestModelTouch(t *testing.T) {
+	m, err := NewModel(Era1992, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Touch(1 << 20)
+	if m.Cycles != m.MissCycles {
+		t.Fatalf("cold touch cost %v cycles, want %v", m.Cycles, m.MissCycles)
+	}
+	m.Touch(1 << 20)
+	if m.Cycles != m.MissCycles+m.HitCycles {
+		t.Fatalf("warm touch cost %v cycles total, want %v", m.Cycles, m.MissCycles+m.HitCycles)
+	}
+	if m.Exams != 0 {
+		t.Fatalf("Touch bumped Exams to %d", m.Exams)
+	}
+}
+
 func TestNewModelBadConfig(t *testing.T) {
 	if _, err := NewModel(CacheConfig{SizeBytes: 100, LineBytes: 32, Ways: 2}, 10, 1); err == nil {
 		t.Fatal("bad cache config accepted")

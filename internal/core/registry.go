@@ -31,6 +31,20 @@ var builders = map[string]func(Config) Demuxer{
 	"map":          func(Config) Demuxer { return NewMapDemux() },
 }
 
+// Register adds an external algorithm to the registry so the name-based
+// tools (demuxsim -algos, benchjson) can construct it. Packages above
+// core in the dependency order — internal/flat's open-addressing tables,
+// for one — register themselves from init; registration is therefore
+// visible exactly in binaries that (transitively) import the providing
+// package. Registering a name twice panics: silent replacement would make
+// two binaries disagree about what an algorithm name means.
+func Register(name string, build func(Config) Demuxer) {
+	if _, dup := builders[name]; dup {
+		panic(fmt.Sprintf("core: algorithm %q registered twice", name))
+	}
+	builders[name] = build
+}
+
 // New constructs a demuxer by algorithm name. Valid names are listed by
 // Algorithms.
 func New(name string, cfg Config) (Demuxer, error) {

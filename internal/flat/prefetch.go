@@ -1,0 +1,27 @@
+//go:build !flat_noprefetch
+
+package flat
+
+// prefetchSpan is the portable prefetch shim: it warms the cache lines
+// holding a probe group before the batch pipeline needs them.
+//
+// Go has no prefetch intrinsic, so this issues early demand loads of the
+// group's first and last entries (a probe group is at most 192 bytes, so
+// two touches cover its span to within one line) and folds the loaded
+// words into an accumulator the caller keeps live. The store is what
+// makes the shim work: a compiler may not elide a load whose value
+// reaches memory, so the lines are in flight — and, unlike a speculative
+// hardware prefetch, already being fetched — while the pipeline resolves
+// the k packets ahead of this one. On a port with a real prefetch
+// intrinsic this function is the single indirection to replace; building
+// with -tags flat_noprefetch swaps in the no-op variant (prefetch_off.go)
+// to measure the pipeline's contribution.
+//
+//demux:hotpath
+func prefetchSpan(group []entry, sink *uint64) {
+	n := len(group)
+	if n == 0 {
+		return
+	}
+	*sink += uint64(group[0].hash) + uint64(group[n-1].hash)
+}

@@ -1,0 +1,11 @@
+//go:build flat_noprefetch
+
+package flat
+
+// prefetchSpan is the no-op variant selected by -tags flat_noprefetch:
+// the batch pipeline still precomputes hashes and runs the same loop,
+// but issues no early loads. Benchmarking with and without the tag
+// isolates the prefetch contribution from the rest of the batch path.
+//
+//demux:hotpath
+func prefetchSpan(group []entry, sink *uint64) {}

@@ -40,6 +40,14 @@ func TestTelemetryMetricFixture(t *testing.T) {
 	runFixtureAll(t, []*Analyzer{AtomicField(), HotAlloc()}, "tmetric")
 }
 
+// TestFlatEntryFixture runs atomicfield and hotalloc together over
+// flat-table-idiom code (packed probe-group entries scanned by zero-alloc
+// hot paths next to striped atomic counters), the combination demuxvet
+// applies to internal/flat.
+func TestFlatEntryFixture(t *testing.T) {
+	runFixtureAll(t, []*Analyzer{AtomicField(), HotAlloc()}, "fentry")
+}
+
 // TestHotAllocSilentOffHotpath runs hotalloc on the allocation-heavy
 // mapiter fixture, which has no //demux:hotpath markers: no diagnostics.
 func TestHotAllocSilentOffHotpath(t *testing.T) {

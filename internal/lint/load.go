@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -106,10 +108,40 @@ func GoFiles(dir string) ([]string, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		files = append(files, filepath.Join(dir, name))
+		full := filepath.Join(dir, name)
+		if !buildTagOK(full) {
+			continue
+		}
+		files = append(files, full)
 	}
 	sort.Strings(files)
 	return files, nil
+}
+
+// buildTagOK reports whether the file's //go:build constraint (if any) is
+// satisfied by the default build configuration: host GOOS/GOARCH, the gc
+// compiler, and no custom tags. demuxvet analyzes each package as a plain
+// `go build` would compile it, so alternate-implementation files selected
+// by opt-in tags (flat's prefetch_off.go, say) don't collide with their
+// default twins during type-checking.
+func buildTagOK(name string) bool {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return true // leave the error to the parser, which reports it better
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if expr, err := constraint.Parse(line); err == nil {
+				return expr.Eval(func(tag string) bool {
+					return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+				})
+			}
+			continue
+		}
+		break // reached the package clause: past the constraint preamble
+	}
+	return true
 }
 
 // Load parses and type-checks the package at the given import path.

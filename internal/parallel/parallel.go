@@ -16,7 +16,14 @@
 //     state — lookups take no locks at all, chains are published
 //     copy-on-write through atomic pointers, and only writers serialize.
 //
-// All three satisfy ConcurrentDemuxer; New builds any of them by name. The
+// The registry also carries the cache-conscious open-addressing tables of
+// package tcpdemux/internal/flat (flat-hopscotch, flat-cuckoo), wrapped in
+// flat.Concurrent's read-write lock: a different trade — shared readers
+// rather than lock-free ones, but probes that touch one or two contiguous
+// probe groups instead of walking a chain, plus a prefetch-pipelined
+// LookupBatch.
+//
+// All of them satisfy ConcurrentDemuxer; New builds any of them by name. The
 // throughput benches in bench_test.go (BenchmarkParallel) and the
 // MeasureThroughput harness quantify the contention gap under goroutine
 // load.
@@ -46,6 +53,7 @@ import (
 	"sync/atomic"
 
 	"tcpdemux/internal/core"
+	"tcpdemux/internal/flat"
 	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/rcu"
 )
@@ -430,6 +438,12 @@ var disciplines = map[string]func(core.Config) ConcurrentDemuxer{
 		return NewShardedSequent(c.Chains, c.Hash)
 	},
 	"rcu-sequent": func(c core.Config) ConcurrentDemuxer { return rcu.New(c.Chains, c.Hash) },
+	"flat-hopscotch": func(c core.Config) ConcurrentDemuxer {
+		return flat.NewConcurrent(flat.NewHopscotch(0, c.Hash))
+	},
+	"flat-cuckoo": func(c core.Config) ConcurrentDemuxer {
+		return flat.NewConcurrent(flat.NewCuckoo(0, c.Hash))
+	},
 }
 
 // New constructs a concurrent demuxer by locking-discipline name. Valid

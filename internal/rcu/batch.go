@@ -3,6 +3,7 @@ package rcu
 import (
 	"tcpdemux/internal/core"
 	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/stripestat"
 )
 
 // batchScratch is the reusable grouping state for LookupBatch: an intrusive
@@ -162,7 +163,7 @@ func (d *Demuxer) LookupBatch(keys []core.Key, dir core.Direction, out []core.Re
 			}
 		}
 	}
-	d.stats.recordBatch(batchStats)
+	d.stats.RecordBatch(batchStats)
 	return out
 }
 
@@ -170,19 +171,4 @@ func (d *Demuxer) LookupBatch(keys []core.Key, dir core.Direction, out []core.Re
 // classification rules of core.Stats.
 //
 //demux:hotpath
-func accumulate(st *core.Stats, r core.Result) {
-	st.Lookups++
-	st.Examined += uint64(r.Examined)
-	if r.Examined > st.MaxExamined {
-		st.MaxExamined = r.Examined
-	}
-	switch {
-	case r.PCB == nil:
-		st.Misses++
-	case r.CacheHit:
-		st.Hits++
-	}
-	if r.PCB != nil && r.Wildcard {
-		st.WildcardHits++
-	}
-}
+func accumulate(st *core.Stats, r core.Result) { stripestat.Accumulate(st, r) }

@@ -61,6 +61,7 @@ import (
 
 	"tcpdemux/internal/core"
 	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/stripestat"
 )
 
 // entry is one cell of a published chain: the connection key inlined next
@@ -116,7 +117,7 @@ type Demuxer struct {
 	conns     atomic.Int64 //demux:atomic
 	listeners atomic.Int64 //demux:atomic
 
-	stats stripes
+	stats stripestat.Stripes
 
 	// scratch pools the per-batch grouping state for LookupBatch.
 	scratch sync.Pool
@@ -136,7 +137,7 @@ func New(h int, fn hashfn.Func) *Demuxer {
 	}
 	d := &Demuxer{chains: make([]chain, h), hash: fn}
 	_, d.mult = fn.(hashfn.Multiplicative)
-	d.stats.init()
+	d.stats.Init()
 	return d
 }
 
@@ -275,7 +276,7 @@ func (d *Demuxer) Remove(k core.Key) bool {
 //demux:hotpath
 func (d *Demuxer) Lookup(k core.Key, _ core.Direction) core.Result {
 	r := d.lookup(k)
-	d.stats.record(r)
+	d.stats.Record(r)
 	return r
 }
 
@@ -347,7 +348,7 @@ func (d *Demuxer) Len() int { return int(d.conns.Load() + d.listeners.Load()) }
 // Snapshot implements parallel.ConcurrentDemuxer, folding the striped
 // counters. Concurrent with updates it returns a consistent-enough sum:
 // every counted lookup is in exactly one stripe.
-func (d *Demuxer) Snapshot() core.Stats { return d.stats.fold() }
+func (d *Demuxer) Snapshot() core.Stats { return d.stats.Fold() }
 
 // Walk implements parallel.ConcurrentDemuxer with snapshot semantics:
 // it iterates the chain and listener slices as atomically loaded at the

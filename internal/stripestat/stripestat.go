@@ -1,4 +1,15 @@
-package rcu
+// Package stripestat provides the striped, cache-line-padded statistics
+// accumulator shared by the concurrent demultiplexers: the rcu package's
+// lock-free Sequent table and the flat package's open-addressing tables
+// both fold per-lookup core.Stats updates into per-goroutine-ish slots so
+// the hot path never bounces a counter cache line between CPUs.
+//
+// The accumulator is exact in totals — every recorded lookup lands in
+// exactly one slot — and heuristic only in spreading. Fold sums the slots
+// into one core.Stats snapshot; a snapshot taken while lookups are in
+// flight is consistent per counter but cross-field identities may lag, as
+// documented by parallel.ConcurrentDemuxer's snapshot contract.
+package stripestat
 
 import (
 	"runtime"
@@ -8,18 +19,18 @@ import (
 	"tcpdemux/internal/core"
 )
 
-// stripeSlot is one padded bundle of statistics counters. The layout keeps
-// each slot on its own cache-line region (two 64-byte lines) so goroutines
-// folding statistics into different slots never bounce a line between
-// CPUs — the same false-sharing guard parallel.ShardedSequent applies to
-// its per-shard counters, here decoupled from the chains entirely.
+// slot is one padded bundle of statistics counters. The layout keeps each
+// slot on its own cache-line region (two 64-byte lines) so goroutines
+// folding statistics into different slots never share a line — the same
+// false-sharing guard parallel.ShardedSequent applies to its per-shard
+// counters, here decoupled from the table entirely.
 //
 // The two counters every lookup must bump — lookups and examined PCBs —
 // share one word (lookups in the top 24 bits, examined in the low 40) so
 // the fast path pays a single atomic add; drain moves the word into the
 // 64-bit spill counters long before either field can wrap. The remaining
 // counters are bumped only on their (rarer) paths.
-type stripeSlot struct {
+type slot struct {
 	packed        atomic.Uint64 //demux:atomic
 	spillLookups  atomic.Uint64 //demux:atomic
 	spillExamined atomic.Uint64 //demux:atomic
@@ -44,7 +55,7 @@ const (
 // add folds one batch of (lookups, examined) with a single atomic add.
 //
 //demux:hotpath
-func (sl *stripeSlot) add(lookups, examined uint64) {
+func (sl *slot) add(lookups, examined uint64) {
 	v := sl.packed.Add(lookups<<packShift + examined)
 	if v >= drainAt {
 		// Only the CAS winner transfers v; a racer's CAS fails harmlessly
@@ -57,23 +68,34 @@ func (sl *stripeSlot) add(lookups, examined uint64) {
 	}
 }
 
-// stripes is the striped statistics accumulator: a power-of-two array of
-// slots, one (ideally) per P. Totals are exact — every recorded lookup
-// lands in exactly one slot — only the spreading is heuristic.
-type stripes struct {
-	slots []stripeSlot
+// bumpMax raises the slot's running maximum to at least v.
+//
+//demux:hotpath
+func (sl *slot) bumpMax(v int64) {
+	for {
+		cur := sl.maxExamined.Load()
+		if v <= cur || sl.maxExamined.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Stripes is the striped statistics accumulator: a power-of-two array of
+// slots, one (ideally) per P. The zero value is not usable; call Init.
+type Stripes struct {
+	slots []slot
 	mask  uint32
 }
 
-// init sizes the stripe array to the next power of two covering
+// Init sizes the stripe array to the next power of two covering
 // 4×GOMAXPROCS, bounding the collision probability of the per-goroutine
-// hash without making Snapshot fold an unbounded array.
-func (s *stripes) init() {
+// hash without making Fold sum an unbounded array.
+func (s *Stripes) Init() {
 	n := 1
 	for n < 4*runtime.GOMAXPROCS(0) {
 		n <<= 1
 	}
-	s.slots = make([]stripeSlot, n)
+	s.slots = make([]slot, n)
 	s.mask = uint32(n - 1)
 }
 
@@ -86,18 +108,18 @@ func (s *stripes) init() {
 // may fold into any slot — only contention does.
 //
 //demux:hotpath
-func (s *stripes) slot() *stripeSlot {
+func (s *Stripes) slot() *slot {
 	var marker byte
 	p := uintptr(unsafe.Pointer(&marker))
 	h := uint32((p >> 6) ^ (p >> 16))
 	return &s.slots[h&s.mask]
 }
 
-// record folds one lookup result into the calling goroutine's stripe with
-// the same classification rules as core.Stats.record.
+// Record folds one lookup result into the calling goroutine's stripe with
+// the same classification rules as core.Stats.Record.
 //
 //demux:hotpath
-func (s *stripes) record(r core.Result) {
+func (s *Stripes) Record(r core.Result) {
 	sl := s.slot()
 	sl.add(1, uint64(r.Examined))
 	switch {
@@ -112,12 +134,12 @@ func (s *stripes) record(r core.Result) {
 	sl.bumpMax(int64(r.Examined))
 }
 
-// recordBatch folds a pre-accumulated batch of lookups in one shot — the
-// batched lookup path counts locally and pays these atomic adds once per
+// RecordBatch folds a pre-accumulated batch of lookups in one shot — the
+// batched lookup paths count locally and pay these atomic adds once per
 // train instead of once per packet.
 //
 //demux:hotpath
-func (s *stripes) recordBatch(st core.Stats) {
+func (s *Stripes) RecordBatch(st core.Stats) {
 	if st.Lookups == 0 {
 		return
 	}
@@ -135,20 +157,8 @@ func (s *stripes) recordBatch(st core.Stats) {
 	sl.bumpMax(int64(st.MaxExamined))
 }
 
-// bumpMax raises the slot's running maximum to at least v.
-//
-//demux:hotpath
-func (sl *stripeSlot) bumpMax(v int64) {
-	for {
-		cur := sl.maxExamined.Load()
-		if v <= cur || sl.maxExamined.CompareAndSwap(cur, v) {
-			return
-		}
-	}
-}
-
-// fold sums every stripe into one core.Stats snapshot.
-func (s *stripes) fold() core.Stats {
+// Fold sums every stripe into one core.Stats snapshot.
+func (s *Stripes) Fold() core.Stats {
 	var st core.Stats
 	for i := range s.slots {
 		sl := &s.slots[i]
@@ -163,4 +173,26 @@ func (s *stripes) fold() core.Stats {
 		}
 	}
 	return st
+}
+
+// Accumulate folds one result into a batch-local core.Stats with the
+// classification rules of core.Stats.Record — the per-train accumulator
+// the batched lookup paths feed RecordBatch with.
+//
+//demux:hotpath
+func Accumulate(st *core.Stats, r core.Result) {
+	st.Lookups++
+	st.Examined += uint64(r.Examined)
+	if r.Examined > st.MaxExamined {
+		st.MaxExamined = r.Examined
+	}
+	switch {
+	case r.PCB == nil:
+		st.Misses++
+	case r.CacheHit:
+		st.Hits++
+	}
+	if r.PCB != nil && r.Wildcard {
+		st.WildcardHits++
+	}
 }

@@ -164,6 +164,42 @@ func (d *Demux) Lookup(k core.Key, dir core.Direction) core.Result {
 	return r
 }
 
+// batcher is implemented by single-goroutine demuxers with a native
+// batched lookup path (the flat open-addressing tables); the wrapper
+// delegates to it so instrumentation doesn't cost the batch its
+// prefetch pipeline.
+type batcher interface {
+	LookupBatch(keys []core.Key, dir core.Direction, out []core.Result) []core.Result
+}
+
+// LookupBatch resolves a train through the inner demuxer's native batch
+// path when it has one (falling back to per-key Lookup delegation
+// otherwise) and observes every result, so batched and per-packet
+// lookups land in the same metric bundle. out is reused when it has
+// capacity.
+//
+//demux:hotpath
+func (d *Demux) LookupBatch(keys []core.Key, dir core.Direction, out []core.Result) []core.Result {
+	if b, ok := d.inner.(batcher); ok {
+		out = b.LookupBatch(keys, dir, out)
+		for i := range out {
+			d.m.Observe(out[i])
+			if d.rec != nil {
+				d.recordEvent(keys[i], dir, out[i])
+			}
+		}
+		return out
+	}
+	if cap(out) < len(keys) {
+		out = make([]core.Result, len(keys)) //demux:allowalloc amortized: grows the caller-owned result buffer once, then reused across trains
+	}
+	out = out[:len(keys)]
+	for i, k := range keys {
+		out[i] = d.Lookup(k, dir)
+	}
+	return out
+}
+
 // recordEvent builds and records the flight event for one lookup.
 //
 //demux:hotpath
