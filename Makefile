@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race chaos bench bench-json bench-json-adversarial bench-json-cache bench-gate fuzz figures clean
+.PHONY: all build vet lint test race chaos shard bench bench-json bench-json-adversarial bench-json-cache bench-json-shard bench-gate fuzz figures clean
 
 all: build vet lint test
 
@@ -46,6 +46,15 @@ chaos:
 	$(GO) test -race -count=1 ./internal/overload ./internal/chaos
 	$(GO) test -race -count=1 -run 'SynCookies|SynFlood|Adversarial' ./internal/engine ./cmd/demuxsim
 
+# shard is the cross-shard conformance gate: the full multi-queue engine
+# suite (SPSC rings, generation-checked directory, RSS steering, rekey
+# migration, lossy/chaos conformance against the single-shard engine)
+# plus the Extract/Adopt migration primitives, all under the race
+# detector.
+shard:
+	$(GO) test -race -count=1 ./internal/shard
+	$(GO) test -race -count=1 -run 'ExtractAdopt|AdoptRearms' ./internal/engine
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -70,17 +79,32 @@ bench-json-adversarial:
 bench-json-cache:
 	$(GO) run ./cmd/benchjson -workload cache -gomaxprocs 4 -workers 16 -rounds 5 -ops 20000 -n 6000 -out BENCH_cache.json
 
-# bench-gate is the perf regression gate: it remeasures the cache
-# workload at the committed artifact's operating point and fails if any
-# shared configuration's best nsPerOp regressed beyond the tolerance.
-# The default tolerance is deliberately generous because CI hosts differ
-# from the host that produced the committed BENCH_cache.json — the gate
-# exists to catch algorithmic blowups, not single-digit drift.
+# bench-json-shard sweeps the multi-queue engine's shard count (1, 2, 4,
+# max) on the TPC/A mix and writes BENCH_shard.json (EXP-SHARD). The
+# chain count stays fixed across the sweep, so each shard's private
+# table holds ~1/N of the PCBs and the partition effect C(N) shows up
+# directly in examined-per-lookup — a speedup source that pays even on
+# a single-core host, before core parallelism multiplies on top.
+bench-json-shard:
+	$(GO) run ./cmd/benchjson -workload shard -rounds 5 -ops 200000 -n 6000 -out BENCH_shard.json
+
+# bench-gate is the perf regression gate: it remeasures the cache and
+# parallel workloads at the committed artifacts' operating points and
+# fails if any shared configuration's best nsPerOp regressed beyond the
+# tolerance — or if a configuration the committed artifact measured is
+# missing from the remeasurement (a renamed discipline must not empty
+# the gate). The default tolerance is deliberately generous because CI
+# hosts differ from the host that produced the committed artifacts —
+# the gate exists to catch algorithmic blowups, not single-digit drift.
 BENCH_TOLERANCE ?= 1.0
 bench-gate:
 	@mkdir -p bin
 	$(GO) run ./cmd/benchjson -workload cache -gomaxprocs 4 -workers 16 -rounds 3 -ops 20000 -n 6000 -out bin/BENCH_cache.head.json
 	$(GO) run ./cmd/benchjson -compare BENCH_cache.json bin/BENCH_cache.head.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchjson -workload parallel -gomaxprocs 32 -workers 384 -rounds 3 -ops 8000 -n 6000 -out bin/BENCH_parallel.head.json
+	$(GO) run ./cmd/benchjson -compare BENCH_parallel.json bin/BENCH_parallel.head.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchjson -workload shard -rounds 3 -ops 60000 -n 6000 -out bin/BENCH_shard.head.json
+	$(GO) run ./cmd/benchjson -compare BENCH_shard.json bin/BENCH_shard.head.json -tolerance $(BENCH_TOLERANCE)
 
 # Short fuzz pass over the wire parsers and the full receive path
 # (CI-sized; raise FUZZTIME locally).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,18 +35,26 @@ type delta struct {
 
 // compareReports pairs configurations present in both reports by
 // discipline/mode and flags any whose best nsPerOp grew beyond tol.
-// Configurations present in only one report are skipped: the gate
-// compares like with like and must not fail when a new run adds modes.
-func compareReports(oldRep, newRep *gateReport, tol float64) ([]delta, error) {
+// Configurations only the new report measures are skipped — a new run
+// is free to add modes — but every configuration the old report
+// measured must reappear in the new one, and the missing ones are
+// returned so the gate can fail instead of passing vacuously: a renamed
+// discipline must not empty the gate silently.
+func compareReports(oldRep, newRep *gateReport, tol float64) ([]delta, []string, error) {
 	oldBest := make(map[string]float64, len(oldRep.Results))
 	for _, r := range oldRep.Results {
 		oldBest[r.Discipline+"/"+r.Mode] = r.Best.NsPerOp
 	}
+	matched := make(map[string]bool, len(oldBest))
 	var deltas []delta
 	for _, r := range newRep.Results {
 		key := r.Discipline + "/" + r.Mode
 		oldNs, ok := oldBest[key]
-		if !ok || oldNs <= 0 || r.Best.NsPerOp <= 0 {
+		if !ok {
+			continue
+		}
+		matched[key] = true
+		if oldNs <= 0 || r.Best.NsPerOp <= 0 {
 			continue
 		}
 		change := (r.Best.NsPerOp - oldNs) / oldNs
@@ -54,11 +63,19 @@ func compareReports(oldRep, newRep *gateReport, tol float64) ([]delta, error) {
 			Change: change, Regressed: change > tol,
 		})
 	}
-	if len(deltas) == 0 {
-		return nil, fmt.Errorf("reports share no measured configurations (%q vs %q)",
+	var missing []string
+	for key := range oldBest { //demux:orderinvariant collected keys are sorted below before use
+
+		if !matched[key] {
+			missing = append(missing, key)
+		}
+	}
+	sort.Strings(missing)
+	if len(deltas) == 0 && len(missing) == 0 {
+		return nil, nil, fmt.Errorf("reports share no measured configurations (%q vs %q)",
 			oldRep.Benchmark, newRep.Benchmark)
 	}
-	return deltas, nil
+	return deltas, missing, nil
 }
 
 func loadGateReport(path string) (*gateReport, error) {
@@ -122,7 +139,7 @@ func runCompare(args []string, tol float64, w io.Writer) int {
 		fmt.Fprintln(w, "benchjson:", err)
 		return 2
 	}
-	deltas, err := compareReports(oldRep, newRep, tol)
+	deltas, missing, err := compareReports(oldRep, newRep, tol)
 	if err != nil {
 		fmt.Fprintln(w, "benchjson:", err)
 		return 2
@@ -136,6 +153,14 @@ func runCompare(args []string, tol float64, w io.Writer) int {
 		}
 		fmt.Fprintf(w, "%s %-36s %10.1f -> %10.1f ns/op (%+.1f%%)\n",
 			mark, d.Config, d.OldNs, d.NewNs, 100*d.Change)
+	}
+	for _, key := range missing {
+		fmt.Fprintf(w, "MISS %-36s measured in %s but absent from %s\n", key, paths[0], paths[1])
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(w, "benchjson: %d configuration(s) from the old report were not measured by the new one\n",
+			len(missing))
+		return 1
 	}
 	if regressed > 0 {
 		fmt.Fprintf(w, "benchjson: %d configuration(s) regressed beyond the %.0f%% nsPerOp tolerance\n",

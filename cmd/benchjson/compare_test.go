@@ -42,7 +42,7 @@ func TestCompareReports(t *testing.T) {
 		{Discipline: "flat-hopscotch", Mode: "batch64-k4", Best: round{NsPerOp: 60}},
 		{Discipline: "added", Mode: "perpacket", Best: round{NsPerOp: 5}},
 	}}
-	deltas, err := compareReports(oldRep, newRep, 0.15)
+	deltas, missing, err := compareReports(oldRep, newRep, 0.15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +59,22 @@ func TestCompareReports(t *testing.T) {
 	if d := byCfg["flat-hopscotch/batch64-k4"]; !d.Regressed {
 		t.Fatalf("50%% growth not flagged: %+v", d)
 	}
+	// The config measured only by the old report must surface as missing,
+	// not silently shrink the gate.
+	if len(missing) != 1 || missing[0] != "gone/perpacket" {
+		t.Fatalf("missing configs = %v, want [gone/perpacket]", missing)
+	}
 
-	if _, err := compareReports(oldRep, &gateReport{Results: []result{
+	if _, _, err := compareReports(oldRep, &gateReport{Results: []result{
 		{Discipline: "other", Mode: "x", Best: round{NsPerOp: 1}},
-	}}, 0.15); err == nil {
-		t.Fatal("disjoint reports should error")
+	}}, 0.15); err != nil {
+		t.Fatal("reports with missing configs should compare (and gate on the misses), not error")
+	}
+	// Truly disjoint in both directions with nothing measured in common
+	// and nothing to miss is impossible once old has results; an empty
+	// old report against an empty new one is the remaining error case.
+	if _, _, err := compareReports(&gateReport{}, &gateReport{}, 0.15); err == nil {
+		t.Fatal("empty reports should error")
 	}
 }
 
@@ -106,6 +117,22 @@ func TestRunCompareGate(t *testing.T) {
 	out.Reset()
 	if code := runCompare([]string{old, gateFile(t, "bad3.json", slower), "-tolerance=0.5"}, defaultTolerance, &out); code != 0 {
 		t.Fatalf("-tolerance= form not honored (%d): %s", code, out.String())
+	}
+
+	// A new report that silently dropped a measured configuration (a
+	// renamed discipline, say) must fail the gate even when every config
+	// it does share is within tolerance — the vacuous-pass regression.
+	renamed := map[string]float64{
+		"rcu-sequent/perpacket":    100,
+		"locked-sequent/perpacket": 300,
+		// flat-hopscotch/batch64-k4 vanished
+	}
+	out.Reset()
+	if code := runCompare([]string{old, gateFile(t, "renamed.json", renamed)}, defaultTolerance, &out); code != 1 {
+		t.Fatalf("missing config exited %d, want 1: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "MISS flat-hopscotch/batch64-k4") {
+		t.Fatalf("missing config not named:\n%s", out.String())
 	}
 
 	// Usage and input errors exit 2, distinct from a regression.

@@ -12,6 +12,11 @@
 //     embedded beside the measured numbers.
 //   - adversarial (BENCH_adversarial.json): the collision attack and
 //     SYN flood against the defended tables.
+//   - shard (BENCH_shard.json): the multi-queue engine — the same
+//     TPC/A population RSS-steered across N private Sequent tables,
+//     sweeping the shard count (1, 2, 4, max). With the chain count
+//     held fixed, each shard's table holds ~1/N of the PCBs, so the
+//     sweep exposes the paper's C(N) partitioning effect directly.
 //
 // Methodology: every configuration is measured -rounds times with the
 // rounds interleaved round-robin across configurations, and the summary
@@ -22,7 +27,7 @@
 //
 // Usage:
 //
-//	benchjson [-workload parallel|cache|adversarial] [-out FILE]
+//	benchjson [-workload parallel|cache|adversarial|shard] [-out FILE]
 //	          [-rounds 5] [-gomaxprocs 4] [-workers 4*gomaxprocs]
 //	          [-ops 200000] [-users 1000] [-read 0.99] [-batch 64]
 //	          [-chains 19] [-seed 7]
@@ -146,7 +151,7 @@ func main() {
 	flag.IntVar(&opt.Batch, "batch", opt.Batch, "train length for the batched mode")
 	flag.IntVar(&opt.Chains, "chains", opt.Chains, "hash chains")
 	flag.Uint64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
-	flag.StringVar(&opt.Workload, "workload", opt.Workload, "benchmark workload: parallel, cache, or adversarial")
+	flag.StringVar(&opt.Workload, "workload", opt.Workload, "benchmark workload: parallel, cache, adversarial, or shard")
 	compareMode := flag.Bool("compare", false, "compare two report files (old new) and gate on nsPerOp regressions")
 	tolerance := flag.Float64("tolerance", defaultTolerance, "allowed fractional nsPerOp regression in -compare mode")
 	flag.Parse()
@@ -159,6 +164,7 @@ func main() {
 			"parallel":    "BENCH_parallel.json",
 			"cache":       "BENCH_cache.json",
 			"adversarial": "BENCH_adversarial.json",
+			"shard":       "BENCH_shard.json",
 		}[opt.Workload]
 	}
 
@@ -190,8 +196,16 @@ func main() {
 				ar.Tables[0].AttackedMean, ar.Tables[1].AttackedMean)
 		}
 		rep = ar
+	case "shard":
+		var sr *shardReport
+		sr, err = runShard(opt)
+		if sr != nil {
+			note = fmt.Sprintf("4 shards %.2fx over single queue (examined %.1f -> %.1f)",
+				sr.Summary.QuadOverSingle, sr.Summary.ExaminedSingle, sr.Summary.ExaminedQuad)
+		}
+		rep = sr
 	default:
-		err = fmt.Errorf("unknown workload %q (have parallel, cache, adversarial)", opt.Workload)
+		err = fmt.Errorf("unknown workload %q (have parallel, cache, adversarial, shard)", opt.Workload)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -6,10 +6,10 @@
 //
 // Usage:
 //
-//	demuxsim [-workload tpca|trains|polling|churn|parallel|lossy|adversarial]
+//	demuxsim [-workload tpca|trains|polling|churn|parallel|lossy|adversarial|sharded]
 //	         [-algos bsd,mtf,sr,sequent] [-n users] [-r response] [-d rtt]
 //	         [-chains n] [-txns perUser] [-seed n] [-drop p] [-dup p]
-//	         [-attack n] [-flood n] [-syncookies=false]
+//	         [-attack n] [-flood n] [-syncookies=false] [-shards n]
 //
 // The lossy workload runs full client/server TCP exchanges through the
 // engine's virtual-time lifecycle timers over a seeded drop/duplicate
@@ -24,6 +24,15 @@
 // backlog and reports whether a legitimate client still connects
 // (-syncookies toggles the stateless handshake defense).
 //
+// The sharded workload drives the internal/shard multi-queue engine:
+// the same lossy client/server exchange, but the server is a StackSet
+// that RSS-steers each inbound frame by keyed tuple hash to one of
+// -shards independent single-writer stacks (private demuxer, private
+// timer wheel). Each shard count's application-level responses are
+// checked byte-for-byte against the single-stack baseline — the
+// cross-shard conformance argument from internal/shard's tests, run
+// live over whatever -drop/-dup loss process the flags select.
+//
 // The parallel workload replays a recorded TPC/A inbound stream through
 // the concurrent locking disciplines (-algos then names disciplines, e.g.
 // locked-sequent,sharded-sequent,rcu-sequent) with -workers goroutines,
@@ -36,6 +45,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +63,7 @@ import (
 	"tcpdemux/internal/overload"
 	"tcpdemux/internal/parallel"
 	"tcpdemux/internal/rng"
+	"tcpdemux/internal/shard"
 	"tcpdemux/internal/telemetry"
 	"tcpdemux/internal/tpca"
 	"tcpdemux/internal/trace"
@@ -83,6 +94,7 @@ func main() {
 		attack   = flag.Int("attack", 4000, "adversarial workload: size of the colliding-tuple attack population")
 		floodN   = flag.Int("flood", 5000, "adversarial workload: spoofed SYNs fired at the listener")
 		cookies  = flag.Bool("syncookies", true, "adversarial workload: enable SYN cookies on the flooded listener")
+		shardsN  = flag.Int("shards", 4, "sharded workload: largest shard count in the sweep")
 		metrics  = flag.String("metrics", "", "serve /metrics (Prometheus) and /metrics.json on this addr; the process stays alive after the run for scraping")
 		flight   = flag.String("flight", "", "adversarial workload: export the flight-recorder capture to this trace file")
 	)
@@ -113,6 +125,8 @@ func main() {
 		err = runParallel(os.Stdout, algoList, *users, *txns, *chains, *seed, *workers, *ops, *batch, *hash, reg)
 	} else if *workload == "lossy" {
 		err = runLossy(os.Stdout, algoList, *users, *txns, *chains, *seed, *drop, *dup, *hash)
+	} else if *workload == "sharded" {
+		err = runSharded(os.Stdout, *users, *txns, *chains, *shardsN, *seed, *drop, *dup, *hash)
 	} else if *workload == "adversarial" {
 		err = runAdversarial(os.Stdout, advConfig{
 			chains: *chains, seed: *seed, hash: *hash,
@@ -288,6 +302,113 @@ func runLossy(out io.Writer, algos []string, clients, txns, chains int, seed uin
 			d.Name(), status, res.Delivered, res.Dropped, res.Duplicated,
 			res.Retransmits, res.Aborts, res.VirtualTime,
 			st.MeanExamined(), st.HitRate()*100)
+	}
+	return nil
+}
+
+// runSharded drives the lossy exchange through the multi-queue engine
+// at each shard count up to max, checking every run's application-level
+// responses byte-for-byte against the single-stack baseline. The wire
+// traces legitimately differ — merging N shard outboxes reorders frames,
+// so the seeded loss process kills different copies — but TCP's
+// reliability plus the deterministic handler mean the bytes the
+// applications exchange cannot.
+func runSharded(out io.Writer, clients, txns, chains, max int, seed uint64, drop, dup float64, hashName string) error {
+	hashFn, err := hashfn.ByName(hashName)
+	if err != nil {
+		return err
+	}
+	mkCfg := func(server engine.LossyServer) engine.LossyConfig {
+		return engine.LossyConfig{
+			Clients: clients,
+			Txns:    txns,
+			Seed:    seed,
+			Link: engine.LinkConfig{
+				Seed:     seed * 2654435761,
+				DropRate: drop,
+				DupRate:  dup,
+				Latency:  0.01,
+				Jitter:   0.004,
+			},
+			RTO:            0.25,
+			MaxRetries:     40,
+			MSL:            0.5,
+			MaxVirtualTime: 3600,
+			Server:         server,
+		}
+	}
+	baseline, err := engine.RunLossyExchange(core.NewSequentHash(chains, hashFn), mkCfg(nil))
+	if err != nil {
+		return err
+	}
+	if !baseline.Completed {
+		return fmt.Errorf("single-stack baseline did not complete (t=%.1fs)", baseline.VirtualTime)
+	}
+
+	if max < 1 {
+		max = 1
+	}
+	var counts []int
+	for n := 1; n < max; n *= 2 {
+		counts = append(counts, n)
+	}
+	counts = append(counts, max)
+
+	fmt.Fprintf(out, "workload=sharded clients=%d txns=%d drop=%.0f%% dup=%.0f%% chains=%d steering=siphash-rss\n\n",
+		clients, txns, drop*100, dup*100, chains)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintln(w, "shards\tcompleted\tconformant\tbusy\tdelivered\tdropped\tdup\tretransmits\tvtime\tmean-examined\tsteered")
+	for _, n := range counts {
+		set, err := shard.NewStackSet(wire.MakeAddr(10, 0, 0, 1), shard.Config{
+			Shards: n,
+			NewDemuxer: func(int) core.Demuxer {
+				return core.NewSequentHash(chains, hashFn)
+			},
+			Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := engine.RunLossyExchange(nil, mkCfg(set))
+		if err != nil {
+			return err
+		}
+		status := "yes"
+		if !res.Completed {
+			status = "NO"
+		}
+		conformant := "yes"
+		if len(res.Responses) != len(baseline.Responses) {
+			conformant = "NO"
+		} else {
+			for i := range res.Responses {
+				if !bytes.Equal(res.Responses[i], baseline.Responses[i]) {
+					conformant = "NO"
+					break
+				}
+			}
+		}
+		var st core.Stats
+		for i := 0; i < set.Shards(); i++ {
+			s := set.Shard(i).Demuxer().Stats()
+			st.Lookups += s.Lookups
+			st.Hits += s.Hits
+			st.Examined += s.Examined
+		}
+		busy := 0
+		for _, c := range set.Steered {
+			if c > 0 {
+				busy++
+			}
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d/%d\t%d\t%d\t%d\t%d\t%.1fs\t%.2f\t%v\n",
+			n, status, conformant, busy, n, res.Delivered, res.Dropped,
+			res.Duplicated, res.Retransmits, res.VirtualTime,
+			st.MeanExamined(), set.Steered)
+		if conformant == "NO" {
+			return fmt.Errorf("%d-shard responses diverged from the single-stack baseline", n)
+		}
 	}
 	return nil
 }

@@ -777,10 +777,10 @@ func (c *Conn) LastReceived() []byte {
 	return nil
 }
 
-// Pump shuttles frames between two stacks until both outboxes are empty,
-// returning the number of frames delivered. It is the examples' in-memory
-// "wire". Frames that fail to parse or route return an error.
-func Pump(a, b *Stack) (int, error) {
+// Pump shuttles frames between two endpoints until both outboxes are
+// empty, returning the number of frames delivered. It is the examples'
+// in-memory "wire". Frames that fail to parse or route return an error.
+func Pump(a, b Endpoint) (int, error) {
 	delivered := 0
 	for rounds := 0; ; rounds++ {
 		if rounds > 10000 {

@@ -74,6 +74,31 @@ type ChaosVerdict struct {
 // launched frame, in launch order.
 type ChaosFunc func(frame []byte, dir ChaosDir, now float64) ChaosVerdict
 
+// Endpoint is the frame-moving face of a stack as the Link sees it:
+// something that emits queued frames and absorbs delivered ones. A
+// single Stack is one; so is the sharded multi-queue engine, which is
+// the point of the abstraction — the identical loss process can drive
+// either, and the conformance tests compare their application-level
+// output byte for byte.
+type Endpoint interface {
+	Deliver(frame []byte) (core.Result, error)
+	Drain() [][]byte
+}
+
+// LossyServer is the server end RunLossyExchange drives: an Endpoint
+// plus the lifecycle surface the harness needs to configure it, run its
+// clock, and report its timer activity. *Stack implements it; the
+// sharded engine implements it by fanning each call to its shards.
+type LossyServer interface {
+	Endpoint
+	Listen(port uint16, h Handler) error
+	Tick(now float64)
+	Addr() wire.Addr
+	SetTimers(rto float64, maxRetries int, msl float64)
+	SetBacklog(n int)
+	LifecycleCounters() (retransmits, aborts, synExpired, timeWaitExpired uint64)
+}
+
 // DefaultLinkLatency is the one-way delay when LinkConfig.Latency is
 // zero: 10 ms of virtual time.
 const DefaultLinkLatency = 0.01
@@ -81,16 +106,16 @@ const DefaultLinkLatency = 0.01
 // flight is one frame copy in transit.
 type flight struct {
 	frame []byte
-	to    *Stack
+	to    Endpoint
 	at    float64 // delivery time
 	seq   uint64  // tie-break: launch order
 }
 
-// Link is the lossy wire between two stacks. Drive it by alternating
+// Link is the lossy wire between two endpoints. Drive it by alternating
 // Shuttle (collect + deliver) with advancing virtual time; Idle reports
 // when nothing remains in transit.
 type Link struct {
-	a, b *Stack
+	a, b Endpoint
 	cfg  LinkConfig
 	src  *rng.Source
 	// inflight holds undelivered frame copies, unsorted; Shuttle delivers
@@ -107,8 +132,8 @@ type Link struct {
 	Rejected   uint64
 }
 
-// NewLink wires two stacks together through the loss model.
-func NewLink(a, b *Stack, cfg LinkConfig) *Link {
+// NewLink wires two endpoints together through the loss model.
+func NewLink(a, b Endpoint, cfg LinkConfig) *Link {
 	if cfg.Latency <= 0 {
 		cfg.Latency = DefaultLinkLatency
 	}
@@ -119,7 +144,7 @@ func NewLink(a, b *Stack, cfg LinkConfig) *Link {
 func (l *Link) Idle() bool { return len(l.inflight) == 0 }
 
 // launch decides one drained frame's fate and schedules its copies.
-func (l *Link) launch(frame []byte, to *Stack, now float64) {
+func (l *Link) launch(frame []byte, to Endpoint, now float64) {
 	var verdict ChaosVerdict
 	if l.cfg.Chaos != nil {
 		dir := DirAB
@@ -225,12 +250,18 @@ type LossyConfig struct {
 	Link LinkConfig
 	// Seed feeds the stacks' ISS generators (the Link has its own).
 	Seed uint64
-	// RTO, MaxRetries, MSL configure both stacks' lifecycle timers
+	// RTO, MaxRetries, MSL configure both endpoints' lifecycle timers
 	// (engine defaults if zero). Lossy runs want a small RTO and a
 	// generous retry budget.
 	RTO        float64
 	MaxRetries int
 	MSL        float64
+	// Server, when non-nil, is the server endpoint to drive instead of a
+	// freshly built single Stack (in which case the Demuxer argument to
+	// RunLossyExchange is ignored). The harness configures its backlog
+	// and timers and registers the exchange handler itself, so a sharded
+	// engine and a single Stack run the exact same application protocol.
+	Server LossyServer
 	// Step is the virtual-time stride between Shuttle/Tick rounds
 	// (defaults to half the link latency).
 	Step float64
@@ -298,16 +329,16 @@ func RunLossyExchange(d core.Demuxer, cfg LossyConfig) (*LossyResult, error) {
 		cfg.MaxVirtualTime = 1000
 	}
 
-	server := NewStack(serverAddrLossy, d, cfg.Seed|1)
+	var server LossyServer = cfg.Server
+	if server == nil {
+		server = NewStack(serverAddrLossy, d, cfg.Seed|1)
+	}
 	client := NewStack(clientAddrLossy, core.NewMapDemux(), cfg.Seed+2)
 	// Room for every client to open at once: backlog pressure is its own
 	// scenario (see the SYN-flood tests); this exchange studies loss.
-	server.Backlog = cfg.Clients
-	for _, s := range []*Stack{server, client} {
-		s.RTO = cfg.RTO
-		s.MaxRetries = cfg.MaxRetries
-		s.MSL = cfg.MSL
-	}
+	server.SetBacklog(cfg.Clients)
+	server.SetTimers(cfg.RTO, cfg.MaxRetries, cfg.MSL)
+	client.SetTimers(cfg.RTO, cfg.MaxRetries, cfg.MSL)
 	if err := server.Listen(lossyPort, lossyHandler); err != nil {
 		return nil, err
 	}
@@ -324,7 +355,7 @@ func RunLossyExchange(d core.Demuxer, cfg LossyConfig) (*LossyResult, error) {
 	}
 	conv := make([]*clientState, cfg.Clients)
 	for i := range conv {
-		c, err := client.ConnectEphemeral(serverAddrLossy, lossyPort, nil)
+		c, err := client.ConnectEphemeral(server.Addr(), lossyPort, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -406,10 +437,11 @@ func RunLossyExchange(d core.Demuxer, cfg LossyConfig) (*LossyResult, error) {
 	res.Delivered = link.Delivered
 	res.Dropped = link.Dropped
 	res.Duplicated = link.Duplicated
-	res.Retransmits = client.Retransmits + server.Retransmits
-	res.Aborts = client.Aborts + server.Aborts
-	res.SynExpired = server.SynExpired
-	res.TimeWaitExpired = client.TimeWaitExpired + server.TimeWaitExpired
+	srvRtx, srvAborts, srvSynExp, srvTW := server.LifecycleCounters()
+	res.Retransmits = client.Retransmits + srvRtx
+	res.Aborts = client.Aborts + srvAborts
+	res.SynExpired = srvSynExp
+	res.TimeWaitExpired = client.TimeWaitExpired + srvTW
 	return res, nil
 }
 

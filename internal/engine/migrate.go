@@ -1,0 +1,124 @@
+// Connection migration between Stacks. The sharded multi-queue engine
+// (internal/shard) moves a live connection from one shard's Stack to
+// another when a steering rekey changes its flow assignment: the old
+// shard Extracts the PCB — out of its demultiplexer, timers quenched,
+// accounting unwound, but nothing torn down — hands it across an SPSC
+// ring, and the new shard Adopts it, re-inserting and re-arming on its
+// own wheel. The pair is also usable alone (tests move connections
+// between two plain Stacks), but the contract is written for the shard
+// engine: both stacks share one address and one virtual clock, and the
+// caller guarantees no frame for the connection is delivered between
+// Extract and Adopt.
+package engine
+
+import (
+	"tcpdemux/internal/core"
+)
+
+// Extract removes the connection identified by k from the stack without
+// tearing it down: the PCB leaves the demultiplexer, its lifecycle
+// timers are canceled, and its listener-backlog or TIME_WAIT accounting
+// is unwound, but its TCP state, sequence numbers, receive queue, and
+// retransmission buffer all survive intact for a subsequent Adopt.
+// Listening (wildcard) PCBs cannot be extracted — every shard owns its
+// own listener — and an unknown key returns false.
+//
+// An ephemeral local port stays allocated on this stack: migration is a
+// server-side affair and the port namespace belongs to the stack that
+// allocated it.
+func (s *Stack) Extract(k core.Key) (*core.PCB, bool) {
+	if k.IsWildcard() {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var pcb *core.PCB
+	// Walk, not Lookup: a control-plane find must not perturb the lookup
+	// statistics or the move-to-front / cache state under study.
+	s.demux.Walk(func(p *core.PCB) bool {
+		if p.Key == k {
+			pcb = p
+			return false
+		}
+		return true
+	})
+	if pcb == nil || pcb.State == core.StateClosed {
+		return nil, false
+	}
+	if !s.demux.Remove(k) {
+		return nil, false
+	}
+	if cd, ok := pcb.UserData.(*connData); ok {
+		cd.rtx.Cancel()
+		cd.rtx = nil
+		cd.life.Cancel()
+		cd.life = nil
+	}
+	switch pcb.State {
+	case core.StateSynRcvd:
+		s.releaseHalfOpen(pcb)
+	case core.StateTimeWait:
+		s.unTimeWait(pcb)
+	}
+	return pcb, true
+}
+
+// Adopt inserts a previously Extracted PCB into this stack, taking over
+// every responsibility the old stack released: the connection's Conn
+// re-homes here (its Send/Close/Receive now run against this stack),
+// half-open and TIME_WAIT accounting resume, and lifecycle timers are
+// re-armed on this stack's wheel. Re-arming restarts each timer's full
+// interval — a migrated half-open connection gets a fresh SYN_RCVD
+// give-up clock, a TIME_WAIT linger restarts its 2MSL — which only ever
+// lengthens a deadline, never expires one early. A retransmission timer
+// re-arms at the backoff interval its retry count had reached.
+func (s *Stack) Adopt(pcb *core.PCB) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.demux.Insert(pcb); err != nil {
+		return err
+	}
+	cd, ok := pcb.UserData.(*connData)
+	if ok {
+		cd.conn.stack = s
+	}
+	switch pcb.State {
+	case core.StateSynRcvd:
+		s.halfOpen[pcb.Key.LocalPort]++
+		s.armSynRcvdExpiry(pcb)
+	case core.StateTimeWait:
+		s.timeWait = append(s.timeWait, pcb)
+		s.armTimeWait(pcb)
+	}
+	if ok && cd.unacked != nil {
+		s.armRetransmit(pcb, cd)
+	}
+	return nil
+}
+
+// SetTimers configures the lifecycle timer overrides in one call (zero
+// values keep the engine defaults). It exists so any LossyServer — a
+// single Stack or a sharded set fanning the values to every shard — can
+// be configured uniformly by the lossy harness.
+func (s *Stack) SetTimers(rto float64, maxRetries int, msl float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.RTO = rto
+	s.MaxRetries = maxRetries
+	s.MSL = msl
+}
+
+// SetBacklog sets the per-listener half-open limit (zero or negative
+// restores DefaultBacklog).
+func (s *Stack) SetBacklog(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Backlog = n
+}
+
+// LifecycleCounters returns the stack's timer-driven lifecycle totals.
+func (s *Stack) LifecycleCounters() (retransmits, aborts, synExpired, timeWaitExpired uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Retransmits, s.Aborts, s.SynExpired, s.TimeWaitExpired
+}

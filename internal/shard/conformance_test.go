@@ -1,0 +1,337 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/engine"
+	"tcpdemux/internal/frag"
+	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/wire"
+)
+
+// newSet builds an n-shard StackSet at the conformance address, each
+// shard demultiplexing with its own Sequent hash table.
+func newSet(t *testing.T, n int, seed uint64) *StackSet {
+	t.Helper()
+	set, err := NewStackSet(wire.MakeAddr(10, 0, 0, 1), Config{
+		Shards: n,
+		NewDemuxer: func(int) core.Demuxer {
+			return core.NewSequentHash(0, hashfn.Multiplicative{})
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// lossyCfg is the conformance operating point from the issue: 20% drop,
+// 10% duplication, jitter reordering, timers sized so the exchange
+// completes well inside the virtual-time budget.
+func lossyCfg(server engine.LossyServer) engine.LossyConfig {
+	return engine.LossyConfig{
+		Clients: 8,
+		Txns:    12,
+		Seed:    99,
+		Link: engine.LinkConfig{
+			Seed:     1234,
+			DropRate: 0.20,
+			DupRate:  0.10,
+			Latency:  0.01,
+			Jitter:   0.004,
+		},
+		RTO:            0.25,
+		MaxRetries:     40,
+		MSL:            0.5,
+		MaxVirtualTime: 2000,
+		Server:         server,
+	}
+}
+
+// TestShardedConformanceLossy is the acceptance gate: the sharded engine
+// and the single-shard engine, driven through the identical 20% drop /
+// 10% dup link, must deliver byte-identical application-level responses
+// to every client. The wire traces differ — outbox merge order changes
+// which frames the loss process kills — but TCP's reliability plus the
+// deterministic handler mean the application bytes cannot.
+func TestShardedConformanceLossy(t *testing.T) {
+	single, err := engine.RunLossyExchange(
+		core.NewSequentHash(0, hashfn.Multiplicative{}), lossyCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.Completed {
+		t.Fatalf("single-shard exchange did not complete (t=%v)", single.VirtualTime)
+	}
+	if single.Dropped == 0 || single.Duplicated == 0 {
+		t.Fatalf("loss process inactive: %+v", single)
+	}
+
+	set := newSet(t, 4, 77)
+	sharded, err := engine.RunLossyExchange(nil, lossyCfg(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sharded.Completed {
+		t.Fatalf("sharded exchange did not complete (t=%v)", sharded.VirtualTime)
+	}
+
+	if len(single.Responses) != len(sharded.Responses) {
+		t.Fatalf("client counts differ: %d vs %d", len(single.Responses), len(sharded.Responses))
+	}
+	for i := range single.Responses {
+		if !bytes.Equal(single.Responses[i], sharded.Responses[i]) {
+			t.Fatalf("client %d responses differ:\nsingle:  %q\nsharded: %q",
+				i, single.Responses[i], sharded.Responses[i])
+		}
+	}
+
+	// The engine must actually have sharded the work: with 8 clients
+	// steered by a keyed hash over 4 shards, at least two shards must
+	// have seen traffic.
+	busy := 0
+	for _, n := range set.Steered {
+		if n > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("steering sent all traffic to one shard: %v", set.Steered)
+	}
+}
+
+// TestShardedConformanceChaos layers a scripted chaos function — bursts
+// of targeted drops, corruption the checksums must catch, and stalls —
+// on top of the probabilistic loss, and demands the same byte-identical
+// delivery.
+func TestShardedConformanceChaos(t *testing.T) {
+	chaos := func() engine.ChaosFunc {
+		n := 0
+		return func(frame []byte, dir engine.ChaosDir, now float64) engine.ChaosVerdict {
+			n++
+			var v engine.ChaosVerdict
+			switch {
+			case n%23 == 0:
+				v.Corrupt = true
+			case n%17 == 0:
+				v.Drop = true
+			case n%13 == 0:
+				v.ExtraDelay = 0.05
+			}
+			return v
+		}
+	}
+	mkCfg := func(server engine.LossyServer) engine.LossyConfig {
+		cfg := lossyCfg(server)
+		cfg.Link.DropRate = 0.10
+		cfg.Link.DupRate = 0.05
+		cfg.Link.Chaos = chaos() // fresh deterministic script per run
+		return cfg
+	}
+
+	single, err := engine.RunLossyExchange(
+		core.NewSequentHash(0, hashfn.Multiplicative{}), mkCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.Completed {
+		t.Fatalf("single-shard chaos exchange did not complete (t=%v)", single.VirtualTime)
+	}
+
+	set := newSet(t, 3, 31)
+	sharded, err := engine.RunLossyExchange(nil, mkCfg(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sharded.Completed {
+		t.Fatalf("sharded chaos exchange did not complete (t=%v)", sharded.VirtualTime)
+	}
+	for i := range single.Responses {
+		if !bytes.Equal(single.Responses[i], sharded.Responses[i]) {
+			t.Fatalf("client %d responses differ under chaos:\nsingle:  %q\nsharded: %q",
+				i, single.Responses[i], sharded.Responses[i])
+		}
+	}
+}
+
+// TestRekeyMigratesMidExchange drives a sharded server directly (client
+// stack + lossy link), rekeys the steering mid-conversation, and checks
+// that migrated connections keep answering on their new shards with no
+// application-visible seam — and that the migration really crossed the
+// handoff rings with directory-validated claims.
+func TestRekeyMigratesMidExchange(t *testing.T) {
+	const (
+		clients = 12
+		port    = uint16(1521)
+	)
+	set := newSet(t, 4, 5)
+	handler := func(_ *engine.Conn, p []byte) []byte {
+		return append(append([]byte("ok<"), p...), '>')
+	}
+	if err := set.Listen(port, handler); err != nil {
+		t.Fatal(err)
+	}
+	set.SetTimers(0.25, 40, 0.5)
+	set.SetBacklog(clients)
+
+	client := engine.NewStack(wire.MakeAddr(10, 0, 0, 2), core.NewMapDemux(), 8)
+	client.SetTimers(0.25, 40, 0.5)
+	link := engine.NewLink(client, set, engine.LinkConfig{
+		Seed: 42, DropRate: 0.10, DupRate: 0.05, Latency: 0.01, Jitter: 0.004,
+	})
+
+	conns := make([]*engine.Conn, clients)
+	for i := range conns {
+		c, err := client.ConnectEphemeral(set.Addr(), port, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+
+	var got [clients][]byte
+	sent := make([]bool, clients)
+	txn := make([]int, clients)
+	const txns = 10
+	now := 0.0
+	step := func() {
+		now += 0.005
+		if err := link.Shuttle(now); err != nil {
+			t.Fatal(err)
+		}
+		client.Tick(now)
+		set.Tick(now)
+	}
+	pump := func(c int) {
+		if conns[c].State() != core.StateEstablished {
+			return
+		}
+		if r := conns[c].Receive(); r != nil {
+			got[c] = append(got[c], r...)
+			sent[c] = false
+			txn[c]++
+		}
+		if !sent[c] && txn[c] < txns {
+			payload := []byte{byte('a' + c), byte('0' + txn[c])}
+			if err := conns[c].Send(payload); err != nil {
+				t.Fatal(err)
+			}
+			sent[c] = true
+		}
+	}
+
+	rekeyed := false
+	for iter := 0; iter < 200_000; iter++ {
+		done := true
+		for c := range conns {
+			pump(c)
+			if txn[c] < txns {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		// Halfway through, rekey between shuttle rounds (the quiesce
+		// contract) until at least one connection actually migrates.
+		if !rekeyed && minTxn(txn) >= txns/2 {
+			for tries := 0; tries < 8 && set.Migrations == 0; tries++ {
+				set.Rekey()
+			}
+			if set.Migrations == 0 {
+				t.Fatal("no connection migrated across eight rekeys")
+			}
+			rekeyed = true
+		}
+		step()
+	}
+
+	if !rekeyed {
+		t.Fatal("exchange finished before the rekey point")
+	}
+	for c := range conns {
+		if txn[c] != txns {
+			t.Fatalf("client %d finished only %d/%d transactions", c, txn[c], txns)
+		}
+		var want []byte
+		for tx := 0; tx < txns; tx++ {
+			want = append(want, "ok<"...)
+			want = append(want, byte('a'+c), byte('0'+tx))
+			want = append(want, '>')
+		}
+		if !bytes.Equal(got[c], want) {
+			t.Fatalf("client %d delivery seam after migration:\ngot  %q\nwant %q", c, got[c], want)
+		}
+	}
+	if set.StaleHandoffs != 0 {
+		t.Fatalf("StaleHandoffs = %d during a quiesced rekey", set.StaleHandoffs)
+	}
+	if set.Rekeys == 0 || set.Migrations == 0 {
+		t.Fatalf("rekey bookkeeping: rekeys=%d migrations=%d", set.Rekeys, set.Migrations)
+	}
+}
+
+func minTxn(txn []int) int {
+	m := txn[0]
+	for _, v := range txn[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TestStackSetFragmentsSteerAfterReassembly checks the software
+// re-steer: a datagram split into fragments must demultiplex on the
+// connection's home shard, because the set reassembles before steering.
+func TestStackSetFragmentsSteerAfterReassembly(t *testing.T) {
+	const port = uint16(1521)
+	set := newSet(t, 4, 21)
+	if err := set.Listen(port, func(_ *engine.Conn, p []byte) []byte {
+		return append([]byte("got:"), p...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client := engine.NewStack(wire.MakeAddr(10, 0, 0, 2), core.NewMapDemux(), 9)
+	conn, err := client.ConnectEphemeral(set.Addr(), port, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Pump(client, set); err != nil {
+		t.Fatal(err)
+	}
+	if conn.State() != core.StateEstablished {
+		t.Fatalf("handshake did not complete: %v", conn.State())
+	}
+
+	// Send a data segment, then fragment the frame on its way in.
+	payload := bytes.Repeat([]byte("x"), 64)
+	if err := conn.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	frames := client.Drain()
+	if len(frames) != 1 {
+		t.Fatalf("expected 1 data frame, got %d", len(frames))
+	}
+	frags, err := frag.Fragment(frames[0], 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 2 {
+		t.Fatalf("fragmentation produced %d pieces", len(frags))
+	}
+	for _, f := range frags {
+		if _, err := set.Deliver(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := engine.Pump(client, set); err != nil {
+		t.Fatal(err)
+	}
+	if got := conn.Receive(); !bytes.Equal(got, append([]byte("got:"), payload...)) {
+		t.Fatalf("fragmented request response %q", got)
+	}
+}

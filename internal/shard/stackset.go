@@ -1,0 +1,481 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/engine"
+	"tcpdemux/internal/frag"
+	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/rng"
+	"tcpdemux/internal/wire"
+)
+
+// Handoff is one migrating connection crossing an SPSC ring between two
+// shards. The (ID, Gen) claim was stamped by the directory Move that
+// authorized the migration; the receiving shard re-validates it against
+// the directory before adopting, so a handoff message that was overtaken
+// by a later move or release is discarded instead of resurrecting a
+// stale PCB.
+type Handoff struct {
+	PCB *core.PCB
+	ID  int
+	Gen uint32
+}
+
+// claim is the control plane's record of a connection's directory slot.
+type claim struct {
+	id    int
+	gen   uint32
+	owner int
+}
+
+// DefaultDirectoryCap bounds the connection-ID directory when the caller
+// does not size it.
+const DefaultDirectoryCap = 1 << 16
+
+// inboxCap sizes each shard's frame inbox ring; handoffCap sizes each
+// ordered shard pair's migration ring. Both are drained synchronously in
+// this engine, so they only need to absorb one burst.
+const (
+	inboxCap   = 256
+	handoffCap = 256
+)
+
+// Config parameterizes a StackSet.
+type Config struct {
+	// Shards is the number of queues (>= 1).
+	Shards int
+	// NewDemuxer builds shard i's private demultiplexer discipline. Any
+	// core.Register'd algorithm works; each shard gets its own instance
+	// so no lookup state is shared. Required.
+	NewDemuxer func(shard int) core.Demuxer
+	// Seed drives the steering key and each shard's ISS generator.
+	Seed uint64
+	// DirectoryCap bounds concurrent connections across all shards
+	// (DefaultDirectoryCap if zero).
+	DirectoryCap int
+}
+
+// StackSet is the sharded multi-queue endpoint: one address, N
+// engine.Stacks behind an RSS-style steering function. Every inbound
+// frame hashes its tuple with the keyed steering hash and lands on
+// exactly one shard's private Stack — private demuxer, private timer
+// wheel, private outbox — through that shard's SPSC inbox ring, so the
+// packet path shares no mutable state between shards. Cross-shard
+// traffic exists only on the control plane: Listen fans the listener out
+// to every shard (accepted connections are distributed by where their
+// SYN steered), and Rekey migrates connections whose assignment changed
+// over per-pair SPSC handoff rings, each handoff carrying a
+// generation-checked directory claim so a stale shard can never resolve
+// a migrated PCB.
+//
+// StackSet implements engine.LossyServer, so the lossy-link conformance
+// harness can drive it through the identical loss process as a single
+// Stack and compare application-level delivery byte for byte.
+//
+// Frames and control messages are processed synchronously: Deliver
+// pushes the frame onto the owning shard's inbox ring and immediately
+// drains that ring. The rings are therefore load-bearing (everything
+// crosses them) while keeping the engine deterministic under the
+// virtual-time harnesses; a multi-core driver may instead pin one
+// goroutine per shard and drain the same rings concurrently, which is
+// what the throughput harness models.
+type StackSet struct {
+	addr   wire.Addr
+	shards []*engine.Stack
+	// steer is swapped atomically by Rekey so a concurrent reader of the
+	// steering function never sees a torn value.
+	steer atomic.Pointer[Steering] //demux:atomic
+	src   *rng.Source
+	dir   *Directory
+
+	// inbox[i] carries frames steered to shard i; handoff[from][to]
+	// carries migrating connections (nil on the diagonal).
+	inbox   []*Ring[[]byte]
+	handoff [][]*Ring[Handoff]
+
+	// claimMu guards claims and is strictly a leaf lock: never held while
+	// calling into a shard Stack (whose OnAccept hook calls back here
+	// with its own lock held).
+	claimMu sync.Mutex
+	claims  map[core.Key]claim
+
+	// reasm reassembles fragmented datagrams before steering, the
+	// software re-steer real kernels apply after reassembly: a fragment
+	// has no ports to hash, so the set reassembles first and steers the
+	// whole datagram by its full tuple.
+	reasmMu sync.Mutex
+	reasm   *frag.Reassembler
+	frames  uint64
+
+	// Steered counts frames dispatched per shard; the remaining counters
+	// describe the migration machinery.
+	Steered       []uint64
+	Rekeys        uint64
+	Migrations    uint64
+	StaleHandoffs uint64
+	DirExhausted  uint64
+}
+
+// NewStackSet builds a sharded endpoint at addr.
+func NewStackSet(addr wire.Addr, cfg Config) (*StackSet, error) {
+	if cfg.Shards < 1 {
+		return nil, errors.New("shard: need at least one shard")
+	}
+	if cfg.NewDemuxer == nil {
+		return nil, errors.New("shard: Config.NewDemuxer is required")
+	}
+	dirCap := cfg.DirectoryCap
+	if dirCap <= 0 {
+		dirCap = DefaultDirectoryCap
+	}
+	set := &StackSet{
+		addr:    addr,
+		src:     rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		dir:     NewDirectory(dirCap),
+		claims:  make(map[core.Key]claim),
+		reasm:   frag.New(64),
+		Steered: make([]uint64, cfg.Shards),
+	}
+	st := NewSteering(cfg.Shards, hashfn.KeyedFromRNG(set.src))
+	set.steer.Store(&st)
+	set.shards = make([]*engine.Stack, cfg.Shards)
+	set.inbox = make([]*Ring[[]byte], cfg.Shards)
+	set.handoff = make([][]*Ring[Handoff], cfg.Shards)
+	for i := range set.shards {
+		i := i
+		s := engine.NewStack(addr, cfg.NewDemuxer(i), cfg.Seed+uint64(i)*0x51_7c_c1+1)
+		s.OnAccept = func(c *engine.Conn) { set.registerAccept(i, c) }
+		set.shards[i] = s
+		set.inbox[i] = NewRing[[]byte](inboxCap)
+		set.handoff[i] = make([]*Ring[Handoff], cfg.Shards)
+		for j := range set.handoff[i] {
+			if j != i {
+				set.handoff[i][j] = NewRing[Handoff](handoffCap)
+			}
+		}
+	}
+	return set, nil
+}
+
+// registerAccept records a freshly accepted connection's directory claim.
+// Called from the owning shard's OnAccept hook (shard lock held), so it
+// touches only the leaf claim lock.
+func (set *StackSet) registerAccept(shard int, c *engine.Conn) {
+	id, gen, ok := set.dir.Assign(shard)
+	if !ok {
+		// Directory full: the connection still works — it just cannot be
+		// migrated on a future rekey. Count it; the sweep in Rekey will
+		// not find a claim for it and will leave it homed where it is.
+		set.DirExhausted++
+		return
+	}
+	set.claimMu.Lock()
+	set.claims[c.Key()] = claim{id: id, gen: gen, owner: shard}
+	set.claimMu.Unlock()
+}
+
+// Shards returns the shard count.
+func (set *StackSet) Shards() int { return len(set.shards) }
+
+// Shard exposes shard i's Stack for inspection (stats, netstat).
+func (set *StackSet) Shard(i int) *engine.Stack { return set.shards[i] }
+
+// Steering returns the current steering function.
+func (set *StackSet) Steering() Steering { return *set.steer.Load() }
+
+// Addr implements engine.LossyServer.
+func (set *StackSet) Addr() wire.Addr { return set.addr }
+
+// Listen implements engine.LossyServer by fanning the listener out to
+// every shard: each shard owns a private listener PCB, so a SYN is
+// accepted wherever its tuple steers and the connection lives its whole
+// life on that shard (until a rekey migrates it).
+func (set *StackSet) Listen(port uint16, h engine.Handler) error {
+	for i, s := range set.shards {
+		if err := s.Listen(port, h); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SetTimers implements engine.LossyServer, fanning to every shard.
+func (set *StackSet) SetTimers(rto float64, maxRetries int, msl float64) {
+	for _, s := range set.shards {
+		s.SetTimers(rto, maxRetries, msl)
+	}
+}
+
+// SetBacklog implements engine.LossyServer. Each shard receives the full
+// backlog: steering decides which shard a SYN reaches, so a per-shard
+// split would refuse bursts that happen to steer together.
+func (set *StackSet) SetBacklog(n int) {
+	for _, s := range set.shards {
+		s.SetBacklog(n)
+	}
+}
+
+// LifecycleCounters implements engine.LossyServer by summing the shards.
+func (set *StackSet) LifecycleCounters() (retransmits, aborts, synExpired, timeWaitExpired uint64) {
+	for _, s := range set.shards {
+		r, a, se, tw := s.LifecycleCounters()
+		retransmits += r
+		aborts += a
+		synExpired += se
+		timeWaitExpired += tw
+	}
+	return
+}
+
+// steerFrame picks the owning shard for a raw frame: the keyed hash of
+// its full tuple. Fragments carry no ports, so the set reassembles them
+// first (under its own small lock — fragmentation is the rare path) and
+// steers the rebuilt datagram; an undecodable frame goes to shard 0,
+// whose Stack will account the parse error.
+func (set *StackSet) steerFrame(frame []byte) (int, []byte) {
+	tup, err := wire.ExtractTuple(frame)
+	if err == nil {
+		return set.steer.Load().Shard(tup), frame
+	}
+	if errors.Is(err, wire.ErrFragmented) {
+		set.reasmMu.Lock()
+		set.frames++
+		if set.frames%512 == 0 {
+			set.reasm.Reap(float64(set.frames), 4096)
+		}
+		whole, ferr := set.reasm.Add(frame, float64(set.frames))
+		set.reasmMu.Unlock()
+		if ferr != nil || whole == nil {
+			// Malformed fragment or datagram still incomplete: shard 0
+			// reports the former; the latter is simply absorbed.
+			if ferr != nil {
+				return 0, frame
+			}
+			return -1, nil
+		}
+		if tup, err = wire.ExtractTuple(whole); err == nil {
+			return set.steer.Load().Shard(tup), whole
+		}
+		return 0, whole
+	}
+	return 0, frame
+}
+
+// Deliver implements engine.LossyServer: steer, enqueue on the owning
+// shard's inbox ring, drain that ring into the shard's Stack. The
+// returned Result is the shard demuxer's lookup result for this frame
+// (zero for an absorbed fragment), so callers can account examination
+// costs exactly as with a single Stack.
+func (set *StackSet) Deliver(frame []byte) (core.Result, error) {
+	idx, whole := set.steerFrame(frame)
+	if idx < 0 {
+		return core.Result{}, nil // fragment absorbed, datagram incomplete
+	}
+	set.Steered[idx]++
+	if !set.inbox[idx].Push(whole) {
+		// The synchronous drain below empties the ring every call, so a
+		// full inbox means a concurrent driver outran the shard; deliver
+		// directly rather than drop — backpressure, not loss.
+		return set.shards[idx].Deliver(whole)
+	}
+	var last core.Result
+	var lastErr error
+	for {
+		f, ok := set.inbox[idx].Pop()
+		if !ok {
+			break
+		}
+		last, lastErr = set.shards[idx].Deliver(f)
+	}
+	return last, lastErr
+}
+
+// Drain implements engine.LossyServer, concatenating every shard's
+// outbox in shard order — the deterministic merge a single egress NIC
+// queue would apply.
+func (set *StackSet) Drain() [][]byte {
+	var out [][]byte
+	for _, s := range set.shards {
+		out = append(out, s.Drain()...)
+	}
+	return out
+}
+
+// Tick implements engine.LossyServer: every shard's virtual clock
+// advances together.
+func (set *StackSet) Tick(now float64) {
+	for _, s := range set.shards {
+		s.Tick(now)
+	}
+}
+
+// TimeWaitCount sums the shards' TIME_WAIT populations.
+func (set *StackSet) TimeWaitCount() int {
+	n := 0
+	for _, s := range set.shards {
+		n += s.TimeWaitCount()
+	}
+	return n
+}
+
+// Len sums the shards' demuxer populations (listeners included).
+func (set *StackSet) Len() int {
+	n := 0
+	for _, s := range set.shards {
+		n += s.Demuxer().Len()
+	}
+	return n
+}
+
+// Rekey draws a fresh steering key and migrates every connection whose
+// shard assignment changed, over the handoff rings: for each moving
+// connection the old shard Extracts the PCB, the directory Move bumps
+// its generation to authorize exactly this transfer, the Handoff crosses
+// the SPSC ring, and the new shard validates the claim against the
+// directory before Adopting. It returns the number of connections
+// migrated.
+//
+// Rekey is a control-plane quiesce point: the caller must not run it
+// concurrently with Deliver (between Shuttle rounds in the lossy
+// harness, between measurement windows in the benches). This is the same
+// contract as the overload package's online rekey — steering changes are
+// epoch transitions, not per-packet events.
+func (set *StackSet) Rekey() int {
+	n := len(set.shards)
+	set.Rekeys++
+	newSteer := NewSteering(n, hashfn.KeyedFromRNG(set.src))
+
+	// Sweep the claim table against the live connections first: claims
+	// whose connection has since closed release their directory slots.
+	live := make(map[core.Key]bool)
+	for _, s := range set.shards {
+		for _, ci := range s.Netstat() {
+			if !ci.Key.IsWildcard() {
+				live[ci.Key] = true
+			}
+		}
+	}
+	type move struct {
+		k  core.Key
+		cl claim
+	}
+	var moves []move
+	set.claimMu.Lock()
+	for k, cl := range set.claims { //demux:orderinvariant releases and the collected move set are per-key independent; movers are sorted below
+		if !live[k] {
+			set.dir.Release(cl.id, cl.gen, cl.owner)
+			delete(set.claims, k)
+			continue
+		}
+		if to := newSteer.Shard(k.Tuple()); to != cl.owner {
+			moves = append(moves, move{k, cl})
+		}
+	}
+	set.claimMu.Unlock()
+	// Deterministic migration order: ring-full fallbacks depend on the
+	// order movers hit the handoff rings, so the launch sequence must not
+	// inherit map iteration order.
+	sort.Slice(moves, func(i, j int) bool { return keyLess(moves[i].k, moves[j].k) })
+
+	// Extract each mover, authorize via the directory, and launch the
+	// handoff. The steering swap happens after the extracts so the new
+	// function never steers a frame at a shard that still owns nothing —
+	// the caller's quiesce contract means no frames arrive mid-rekey
+	// anyway, and the swap order keeps the invariant even if one does.
+	migrated := 0
+	for _, mv := range moves {
+		k, cl := mv.k, mv.cl
+		to := newSteer.Shard(k.Tuple())
+		pcb, ok := set.shards[cl.owner].Extract(k)
+		if !ok {
+			continue // raced with a timer teardown between sweep and now
+		}
+		newGen, ok := set.dir.Move(cl.id, cl.gen, cl.owner, to)
+		if !ok {
+			// The claim was stale — someone else moved or released the
+			// slot. Re-adopt locally: the connection must not be lost.
+			set.StaleHandoffs++
+			_ = set.shards[cl.owner].Adopt(pcb)
+			continue
+		}
+		if !set.handoff[cl.owner][to].Push(Handoff{PCB: pcb, ID: cl.id, Gen: newGen}) {
+			// Ring full: revert the move and keep the connection home.
+			if g, ok := set.dir.Move(cl.id, newGen, to, cl.owner); ok {
+				newGen = g
+			}
+			_ = set.shards[cl.owner].Adopt(pcb)
+			set.claimMu.Lock()
+			set.claims[k] = claim{id: cl.id, gen: newGen, owner: cl.owner}
+			set.claimMu.Unlock()
+			continue
+		}
+		set.claimMu.Lock()
+		set.claims[k] = claim{id: cl.id, gen: newGen, owner: to}
+		set.claimMu.Unlock()
+	}
+	set.steer.Store(&newSteer)
+
+	// Each shard drains its incoming handoff rings and adopts what the
+	// directory still says is its own.
+	for to := range set.shards {
+		migrated += set.adoptPending(to)
+	}
+	set.Migrations += uint64(migrated)
+	return migrated
+}
+
+// keyLess is a total order over connection keys (local endpoint, then
+// remote) so rekey migration launches in a reproducible sequence.
+func keyLess(a, b core.Key) bool {
+	if c := bytes.Compare(a.LocalAddr[:], b.LocalAddr[:]); c != 0 {
+		return c < 0
+	}
+	if a.LocalPort != b.LocalPort {
+		return a.LocalPort < b.LocalPort
+	}
+	if c := bytes.Compare(a.RemoteAddr[:], b.RemoteAddr[:]); c != 0 {
+		return c < 0
+	}
+	return a.RemotePort < b.RemotePort
+}
+
+// adoptPending drains every handoff ring aimed at shard `to`, adopting
+// each PCB whose directory claim still names this shard at exactly the
+// handed-off generation. A claim that fails the check is stale — a later
+// move or release overtook the message in flight — and is dropped
+// without touching the PCB: whoever bumped the generation owns it now.
+func (set *StackSet) adoptPending(to int) int {
+	adopted := 0
+	for from := range set.shards {
+		ring := set.handoff[from][to]
+		if ring == nil {
+			continue
+		}
+		for {
+			h, ok := ring.Pop()
+			if !ok {
+				break
+			}
+			if !set.dir.OwnedBy(h.ID, h.Gen, to) {
+				set.StaleHandoffs++
+				continue
+			}
+			if err := set.shards[to].Adopt(h.PCB); err != nil {
+				// A duplicate key on the target shard means the connection
+				// was re-established there while this handoff was in
+				// flight; the stale copy loses.
+				set.StaleHandoffs++
+				continue
+			}
+			adopted++
+		}
+	}
+	return adopted
+}

@@ -1,0 +1,43 @@
+package shard
+
+import (
+	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/wire"
+)
+
+// Steering maps a demultiplexing tuple to a shard index, RSS-style: the
+// keyed SipHash of the tuple, folded to a shard number. Using the keyed
+// hash (not one of the cheap unkeyed functions) matters here for the
+// same reason it does inside the table: an adversary who could predict
+// the steering function could aim its whole population at one shard and
+// reduce the multi-queue engine to the single-queue one. The steering
+// key is independent of any per-shard table key, so rekeying one layer
+// never forces the other.
+//
+// Steering is an immutable value; a rekey builds a new Steering and the
+// engine migrates the connections whose assignment changed.
+type Steering struct {
+	key hashfn.Keyed
+	n   int
+}
+
+// NewSteering returns a steering function over n shards using the given
+// keyed hash. n must be >= 1.
+func NewSteering(n int, key hashfn.Keyed) Steering {
+	if n < 1 {
+		n = 1
+	}
+	return Steering{key: key, n: n}
+}
+
+// Shards returns the shard count.
+func (s Steering) Shards() int { return s.n }
+
+// Shard returns the shard index for a tuple. All frames of a connection
+// carry the same tuple, so a connection's traffic lands on one shard for
+// the lifetime of the steering key.
+//
+//demux:hotpath
+func (s Steering) Shard(t wire.Tuple) int {
+	return hashfn.ChainIndex(s.key.Hash(t), s.n)
+}

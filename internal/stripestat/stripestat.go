@@ -162,9 +162,18 @@ func (s *Stripes) Fold() core.Stats {
 	var st core.Stats
 	for i := range s.slots {
 		sl := &s.slots[i]
+		// Load the spill counters before re-reading packed. A drain in
+		// slot.add runs CAS(packed→0) first and adds to the spills second,
+		// so reading packed first could observe the pre-drain word and
+		// then spills that already include that same word — a transient
+		// double count of up to 2^22 lookups. In this order a drain landing
+		// between the loads makes the word visible in neither counter for
+		// one snapshot (a lag the snapshot contract permits), never twice.
+		spillL := sl.spillLookups.Load()
+		spillE := sl.spillExamined.Load()
 		v := sl.packed.Load()
-		st.Lookups += sl.spillLookups.Load() + v>>packShift
-		st.Examined += sl.spillExamined.Load() + v&packMask
+		st.Lookups += spillL + v>>packShift
+		st.Examined += spillE + v&packMask
 		st.Hits += sl.hits.Load()
 		st.Misses += sl.misses.Load()
 		st.WildcardHits += sl.wildcardHits.Load()
