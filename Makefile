@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race chaos shard bench bench-json bench-json-adversarial bench-json-cache bench-json-shard bench-gate fuzz figures clean
+.PHONY: all build vet lint lint-fixtures test race chaos shard bench bench-json bench-json-adversarial bench-json-cache bench-json-shard bench-gate fuzz figures clean
 
 all: build vet lint test
 
@@ -15,12 +15,19 @@ vet:
 	$(GO) vet ./...
 
 # lint builds the repository's own analyzer suite (cmd/demuxvet, built on
-# internal/lint) and runs it under the go vet driver. It mechanically
-# enforces the determinism, RCU, and hot-path invariants documented in
-# DESIGN.md §9. examples/ is exempt: the example programs are allowed to
-# read the wall clock and print freely.
-lint: bin/demuxvet
-	$(GO) vet -vettool=$(CURDIR)/bin/demuxvet ./internal/... ./cmd/... .
+# internal/lint) and runs it under the go vet driver over every package,
+# examples/ included. It mechanically enforces the determinism, RCU,
+# hot-path, and concurrency-contract invariants documented in DESIGN.md
+# §9 and §14. lint-fixtures runs first so a broken analyzer fails loudly
+# on its fixture corpus instead of silently passing the real tree.
+lint: lint-fixtures bin/demuxvet
+	$(GO) vet -vettool=$(CURDIR)/bin/demuxvet ./...
+
+# lint-fixtures exercises each analyzer against the flagged-and-waived
+# corpus under internal/lint/testdata before the suite is trusted on the
+# repository itself.
+lint-fixtures:
+	$(GO) test -short ./internal/lint
 
 bin/demuxvet: FORCE
 	$(GO) build -o bin/demuxvet ./cmd/demuxvet

@@ -1,6 +1,7 @@
 // Command demuxvet runs the repository's invariant analyzers
-// (internal/lint): virtualtime, seededrand, mapiter, atomicfield, and
-// hotalloc. It speaks two protocols:
+// (internal/lint): directive, virtualtime, seededrand, mapiter,
+// atomicpub, singlewriter, spscring, hotalloc, and stalewaiver. It
+// speaks two protocols:
 //
 //	demuxvet ./...                   standalone: walk packages, parse and
 //	                                 type-check from source, report.
@@ -13,10 +14,14 @@
 //	                                 the stdlib because the module vendors
 //	                                 no dependencies.
 //
-// examples/ is exempt by path in standalone mode (run `go vet -vettool`
-// on ./internal/... ./cmd/... to mirror that under the vet driver), and
-// *_test.go files are never analyzed: tests legitimately read the wall
-// clock and iterate maps.
+// Every package in the module is in scope, examples/ included — the
+// example programs must obey the same determinism rules as everything
+// else. *_test.go files are never analyzed: tests legitimately read the
+// wall clock and iterate maps.
+//
+// The -tags flag (standalone mode) adds build tags to the constraint
+// evaluation, mirroring `go build -tags`; `demuxvet -tags race ./...`
+// analyzes the file set a -race build compiles.
 //
 // Exit status: 0 clean, 1 usage or load failure, 2 diagnostics reported.
 package main
@@ -64,6 +69,7 @@ var (
 	vFlag     = flag.String("V", "", "print version and exit (unitchecker protocol)")
 	cFlag     = flag.Int("c", -1, "ignored; accepted for vet driver compatibility")
 	fixFlag   = flag.Bool("fix", false, "ignored; demuxvet suggests no fixes")
+	tagsFlag  = flag.String("tags", "", "comma-separated build tags to satisfy (standalone mode)")
 )
 
 func main() {
@@ -100,13 +106,17 @@ func standalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "demuxvet:", err)
 		return 1
 	}
+	var tags []string
+	if *tagsFlag != "" {
+		tags = strings.Split(*tagsFlag, ",")
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	var paths []string
 	seen := make(map[string]bool)
 	for _, pat := range patterns {
-		expanded, err := expand(root, module, pat)
+		expanded, err := expand(root, module, pat, tags)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "demuxvet:", err)
 			return 1
@@ -119,6 +129,7 @@ func standalone(patterns []string) int {
 		}
 	}
 	loader := lint.NewLoader(root, module)
+	loader.Tags = tags
 	analyzers := lint.Default()
 	found := false
 	for _, path := range paths {
@@ -169,10 +180,10 @@ func findModule() (root, module string, err error) {
 }
 
 // expand resolves one package pattern ("./...", "./internal/...", a
-// directory) to import paths. Directories named testdata, examples, bin,
-// or starting with "." or "_" are skipped, as are packages with no
-// non-test Go files.
-func expand(root, module, pat string) ([]string, error) {
+// directory) to import paths. Directories named testdata or bin, or
+// starting with "." or "_", are skipped, as are packages with no
+// non-test Go files; examples/ is in scope like everything else.
+func expand(root, module, pat string, tags []string) ([]string, error) {
 	pat = strings.TrimPrefix(pat, "./")
 	recursive := false
 	if pat == "..." {
@@ -182,7 +193,7 @@ func expand(root, module, pat string) ([]string, error) {
 	}
 	base := filepath.Join(root, filepath.FromSlash(pat))
 	if !recursive {
-		ok, err := hasGoFiles(base)
+		ok, err := hasGoFiles(base, tags)
 		if err != nil {
 			return nil, err
 		}
@@ -200,14 +211,11 @@ func expand(root, module, pat string) ([]string, error) {
 			return nil
 		}
 		name := d.Name()
-		if p != base && (name == "testdata" || name == "examples" || name == "bin" ||
+		if p != base && (name == "testdata" || name == "bin" ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		if rel, _ := filepath.Rel(root, p); rel == "examples" {
-			return filepath.SkipDir
-		}
-		ok, err := hasGoFiles(p)
+		ok, err := hasGoFiles(p, tags)
 		if err != nil {
 			return err
 		}
@@ -223,8 +231,8 @@ func expand(root, module, pat string) ([]string, error) {
 	return paths, nil
 }
 
-func hasGoFiles(dir string) (bool, error) {
-	files, err := lint.GoFiles(dir)
+func hasGoFiles(dir string, tags []string) (bool, error) {
+	files, err := lint.GoFiles(dir, tags...)
 	return len(files) > 0, err
 }
 

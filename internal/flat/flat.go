@@ -80,11 +80,15 @@ const (
 type slab struct {
 	pcbs []*core.PCB
 	gens []uint32
-	free []uint32
+	// free is mutated only by the alloc/release pair (the slabmut role);
+	// the lookup path reads pcbs and gens but never the free list.
+	free []uint32 //demux:singlewriter(owner=slabmut)
 }
 
 // alloc stores p in a free (or fresh) cell and returns its index and
 // current generation.
+//
+//demux:owner(slabmut)
 func (s *slab) alloc(p *core.PCB) (idx, gen uint32) {
 	if n := len(s.free); n > 0 {
 		idx = s.free[n-1]
@@ -99,6 +103,8 @@ func (s *slab) alloc(p *core.PCB) (idx, gen uint32) {
 
 // release empties cell idx, advances its generation, and queues it for
 // reuse.
+//
+//demux:owner(slabmut)
 func (s *slab) release(idx uint32) {
 	s.pcbs[idx] = nil
 	s.gens[idx]++

@@ -24,28 +24,106 @@ func TestMapIterFilter(t *testing.T) {
 	runSilent(t, MapIter(PathPrefixFilter("tcpdemux/internal/core")), "miter")
 }
 
-func TestAtomicFieldFixture(t *testing.T) {
-	runFixture(t, AtomicField(), "afield")
+// TestAtomicPubAccessFixture runs atomicpub over the access-discipline
+// fixture inherited from the retired atomicfield analyzer: same marker,
+// same rule, wider analyzer.
+func TestAtomicPubAccessFixture(t *testing.T) {
+	runFixture(t, AtomicPub(), "afield")
+}
+
+// TestAtomicPubOrderingFixture exercises the store-before-publish half:
+// writes through a pointer after it was published via Store, Swap, or
+// CompareAndSwap on a marked field.
+func TestAtomicPubOrderingFixture(t *testing.T) {
+	runFixture(t, AtomicPub(), "apub")
+}
+
+func TestSingleWriterFixture(t *testing.T) {
+	runFixture(t, SingleWriter(), "swriter")
+}
+
+func TestSPSCRingFixture(t *testing.T) {
+	runFixture(t, SPSCRing(), "sring")
+}
+
+// TestSPSCRingAnnotationCoherence checks the diagnostics that land on
+// the annotation itself: a side list naming a nonexistent method, an
+// owned field with a nonexistent peer, an owned field outside any
+// //demux:spsc type.
+func TestSPSCRingAnnotationCoherence(t *testing.T) {
+	p := loadFixture(t, "sringbad")
+	diags, err := Run(p, []*Analyzer{SPSCRing()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f = "sringbad.go"
+	assertDiags(t, diags, []diagWant{
+		{fixtureLine(t, "sringbad", f, "consumer=Take"), "spscring", "names method Take"},
+		{fixtureLine(t, "sringbad", f, "peer=stale"), "spscring", "has no field stale"},
+		{fixtureLine(t, "sringbad", f, "cachedX"), "spscring", "not marked //demux:spsc"},
+	})
+}
+
+// TestStaleWaiverFixture runs seededrand (which consults the one earned
+// waiver) and stalewaiver together: only the orphaned waiver is
+// reported, at its own comment.
+func TestStaleWaiverFixture(t *testing.T) {
+	p := loadFixture(t, "swaiver")
+	diags, err := Run(p, []*Analyzer{SeededRand(), StaleWaiver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDiags(t, diags, []diagWant{
+		{fixtureLine(t, "swaiver", "swaiver.go", "stale — the call below was deleted"), "stalewaiver", "stale waiver"},
+	})
+}
+
+// TestStaleWaiverUnconsulted pins the "never looked" rule: when the
+// consuming analyzer does not run (here, seededrand), even the earned
+// waiver suppresses nothing and both are stale.
+func TestStaleWaiverUnconsulted(t *testing.T) {
+	p := loadFixture(t, "swaiver")
+	diags, err := Run(p, []*Analyzer{StaleWaiver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 stale waivers with no consuming analyzer, got %d: %v", len(diags), diags)
+	}
 }
 
 func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, HotAlloc(), "halloc")
 }
 
-// TestTelemetryMetricFixture runs atomicfield and hotalloc together over
+// TestTelemetryMetricFixture runs atomicpub and hotalloc together over
 // telemetry-idiom metric code (striped atomic slots observed by
 // zero-alloc hot paths), the combination demuxvet applies to
 // internal/telemetry.
 func TestTelemetryMetricFixture(t *testing.T) {
-	runFixtureAll(t, []*Analyzer{AtomicField(), HotAlloc()}, "tmetric")
+	runFixtureAll(t, []*Analyzer{AtomicPub(), HotAlloc()}, "tmetric")
 }
 
-// TestFlatEntryFixture runs atomicfield and hotalloc together over
+// TestFlatEntryFixture runs atomicpub and hotalloc together over
 // flat-table-idiom code (packed probe-group entries scanned by zero-alloc
 // hot paths next to striped atomic counters), the combination demuxvet
 // applies to internal/flat.
 func TestFlatEntryFixture(t *testing.T) {
-	runFixtureAll(t, []*Analyzer{AtomicField(), HotAlloc()}, "fentry")
+	runFixtureAll(t, []*Analyzer{AtomicPub(), HotAlloc()}, "fentry")
+}
+
+// TestDefaultSuiteOnSRing runs the full nine-analyzer suite over the
+// SPSC fixture the way demuxvet runs it over a real package: the
+// spscring findings appear, the other analyzers stay silent, and the
+// fixture's used waivers do not trip stalewaiver.
+func TestDefaultSuiteOnSRing(t *testing.T) {
+	runFixtureAll(t, Default(), "sring")
+}
+
+// TestDirectiveSilentOnWellFormed runs the grammar analyzer over a
+// fixture whose directives are all valid.
+func TestDirectiveSilentOnWellFormed(t *testing.T) {
+	runSilent(t, Directive(), "afield")
 }
 
 // TestHotAllocSilentOffHotpath runs hotalloc on the allocation-heavy

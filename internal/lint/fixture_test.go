@@ -2,8 +2,10 @@ package lint
 
 import (
 	"go/ast"
+	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -117,6 +119,56 @@ func claim(wants []*want, file string, line int, msg string) bool {
 		}
 	}
 	return false
+}
+
+// fixtureLine returns the 1-based line of the first occurrence of needle
+// in a fixture file, for expectations that land on directive comments —
+// where a trailing `// want` comment cannot be written because the
+// directive already occupies the line's one comment.
+func fixtureLine(t *testing.T, pkg, file, needle string) int {
+	t.Helper()
+	path := filepath.Join("testdata", "src", pkg, file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture %s: %v", path, err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("%s: no line contains %q", path, needle)
+	return 0
+}
+
+// A diagWant is one expected diagnostic for assertDiags: the line it
+// must land on, the analyzer it must come from, and a message substring.
+type diagWant struct {
+	line     int
+	analyzer string
+	sub      string
+}
+
+// assertDiags matches diagnostics against expectations one-to-one:
+// every expectation must be met, and no diagnostic may go unclaimed.
+func assertDiags(t *testing.T, diags []Diagnostic, wants []diagWant) {
+	t.Helper()
+	claimed := make([]bool, len(diags))
+outer:
+	for _, w := range wants {
+		for i, d := range diags {
+			if !claimed[i] && d.Pos.Line == w.line && d.Analyzer == w.analyzer && strings.Contains(d.Message, w.sub) {
+				claimed[i] = true
+				continue outer
+			}
+		}
+		t.Errorf("missing diagnostic: line %d [%s] containing %q", w.line, w.analyzer, w.sub)
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
 }
 
 // runSilent asserts an analyzer reports nothing on a fixture, used to

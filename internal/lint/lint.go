@@ -16,18 +16,32 @@
 //
 // Analyzers (see their files for details):
 //
-//	virtualtime — no wall clock in virtual-time packages (//demux:wallclock waives)
-//	seededrand  — no global math/rand anywhere (//demux:globalrand waives)
-//	mapiter     — no order-sensitive map iteration in result-feeding code
-//	              (//demux:orderinvariant waives)
-//	atomicfield — fields marked //demux:atomic are touched only via atomic
-//	              operations (//demux:atomicguarded waives)
-//	hotalloc    — functions marked //demux:hotpath stay allocation-free
-//	              (//demux:allowalloc waives)
+//	directive    — every //demux: comment parses and validates against the
+//	               annotation grammar (no waiver: fix the directive)
+//	virtualtime  — no wall clock in virtual-time packages (//demux:wallclock waives)
+//	seededrand   — no global math/rand anywhere (//demux:globalrand waives)
+//	mapiter      — no order-sensitive map iteration in result-feeding code
+//	               (//demux:orderinvariant waives)
+//	atomicpub    — fields marked //demux:atomic are touched only via atomic
+//	               operations, and a pointer published through one is never
+//	               written after the Store (//demux:atomicguarded waives)
+//	singlewriter — fields marked //demux:singlewriter(owner=role) are only
+//	               accessed from //demux:owner(role) functions
+//	               (//demux:crossaccess waives)
+//	spscring     — types marked //demux:spsc(producer=..., consumer=...)
+//	               keep each side off the other side's //demux:owned
+//	               fields, and cached peer indices are refreshed only via
+//	               the peer's atomic Load (//demux:spscok waives)
+//	hotalloc     — functions marked //demux:hotpath stay allocation-free
+//	               (//demux:allowalloc waives)
+//	stalewaiver  — waivers that suppressed no finding in the run are
+//	               reported, so the waiver inventory cannot rot
 //
 // Every waiver directive requires a reason after the directive name; a
 // reasonless waiver still suppresses the underlying finding but draws its
-// own diagnostic, so each exception documents why it is safe.
+// own diagnostic, so each exception documents why it is safe. A waiver
+// that suppresses nothing at all is itself a finding (stalewaiver), so
+// deleting the code under a waiver forces deleting the waiver.
 package lint
 
 import (
@@ -87,12 +101,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // waived reports whether a //demux:<name> directive covers pos (same line
 // or the line immediately above). A reasonless waiver still suppresses
-// the underlying finding but draws its own diagnostic.
+// the underlying finding but draws its own diagnostic. Consulting a
+// waiver marks it used, which is what keeps it off the stalewaiver
+// report.
 func (p *Pass) waived(pos token.Pos, name string) bool {
 	d := p.dirs.at(p.Fset.Position(pos), name)
 	if d == nil {
 		return false
 	}
+	d.used = true
 	if d.reason == "" {
 		p.Reportf(pos, "//demux:%s waiver needs a reason", name)
 	}

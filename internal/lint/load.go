@@ -42,6 +42,11 @@ type Loader struct {
 	// local), which the analyzer fixtures use.
 	Module string
 	Root   string
+	// Tags are extra build tags considered satisfied when evaluating
+	// //go:build constraints, mirroring `go build -tags`. A loader with
+	// Tags ["race"] sees the same file set `make race` compiles, so the
+	// analyzers can be pointed at race-only harness code too.
+	Tags []string
 
 	std     types.Importer
 	pkgs    map[string]*Package
@@ -95,8 +100,9 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 }
 
 // GoFiles lists the package's non-test Go source files in a directory,
-// sorted for deterministic load order.
-func GoFiles(dir string) ([]string, error) {
+// sorted for deterministic load order. tags are extra build tags treated
+// as satisfied, as by `go build -tags`.
+func GoFiles(dir string, tags ...string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -109,7 +115,7 @@ func GoFiles(dir string) ([]string, error) {
 			continue
 		}
 		full := filepath.Join(dir, name)
-		if !buildTagOK(full) {
+		if !buildTagOK(full, tags) {
 			continue
 		}
 		files = append(files, full)
@@ -119,12 +125,15 @@ func GoFiles(dir string) ([]string, error) {
 }
 
 // buildTagOK reports whether the file's //go:build constraint (if any) is
-// satisfied by the default build configuration: host GOOS/GOARCH, the gc
-// compiler, and no custom tags. demuxvet analyzes each package as a plain
-// `go build` would compile it, so alternate-implementation files selected
-// by opt-in tags (flat's prefetch_off.go, say) don't collide with their
-// default twins during type-checking.
-func buildTagOK(name string) bool {
+// satisfied by the build configuration: host GOOS/GOARCH, the gc
+// compiler, and the given extra tags. With no extra tags demuxvet
+// analyzes each package as a plain `go build` would compile it, so
+// alternate-implementation files selected by opt-in tags (flat's
+// prefetch_off.go, say) don't collide with their default twins during
+// type-checking; with Tags ["race"] the selection matches a `go build
+// -race` run (which sets the race tag implicitly), so !race fallbacks
+// drop out and their race-only twins load instead.
+func buildTagOK(name string, tags []string) bool {
 	data, err := os.ReadFile(name)
 	if err != nil {
 		return true // leave the error to the parser, which reports it better
@@ -134,7 +143,15 @@ func buildTagOK(name string) bool {
 		if line == "" || strings.HasPrefix(line, "//") {
 			if expr, err := constraint.Parse(line); err == nil {
 				return expr.Eval(func(tag string) bool {
-					return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+					if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" {
+						return true
+					}
+					for _, t := range tags {
+						if tag == t {
+							return true
+						}
+					}
+					return false
 				})
 			}
 			continue
@@ -159,7 +176,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if !ok {
 		return nil, fmt.Errorf("lint: %q is not under %s", path, l.Root)
 	}
-	names, err := GoFiles(dir)
+	names, err := GoFiles(dir, l.Tags...)
 	if err != nil {
 		return nil, err
 	}

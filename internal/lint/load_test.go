@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestGoFilesRaceTag checks the build-constraint evaluator against the
+// race tag: by default the !race twin is selected, with Tags ["race"]
+// the race twin is — matching `go build` versus `go build -race`.
+func TestGoFilesRaceTag(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "rtag")
+	cases := []struct {
+		tags []string
+		want []string
+	}{
+		{nil, []string{"norace.go", "rtag.go"}},
+		{[]string{"race"}, []string{"race.go", "rtag.go"}},
+	}
+	for _, c := range cases {
+		files, err := GoFiles(dir, c.tags...)
+		if err != nil {
+			t.Fatalf("GoFiles(%v): %v", c.tags, err)
+		}
+		var names []string
+		for _, f := range files {
+			names = append(names, filepath.Base(f))
+		}
+		if len(names) != len(c.want) {
+			t.Fatalf("GoFiles(tags=%v) = %v, want %v", c.tags, names, c.want)
+		}
+		for i := range names {
+			if names[i] != c.want[i] {
+				t.Fatalf("GoFiles(tags=%v) = %v, want %v", c.tags, names, c.want)
+			}
+		}
+	}
+}
+
+// TestLoaderRaceTag type-checks the rtag fixture under both
+// configurations: race.go and norace.go declare the same constant, so a
+// loader that picked both (or neither) would fail to check.
+func TestLoaderRaceTag(t *testing.T) {
+	for _, tags := range [][]string{nil, {"race"}} {
+		loader := NewLoader(filepath.Join("testdata", "src"), "")
+		loader.Tags = tags
+		if _, err := loader.Load("rtag"); err != nil {
+			t.Fatalf("loading rtag with tags %v: %v", tags, err)
+		}
+	}
+}

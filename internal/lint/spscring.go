@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// spscType is one ring type under the SPSC contract.
+type spscType struct {
+	name     string
+	producer map[string]bool // method names allowed on the producer side
+	consumer map[string]bool
+	dir      *directive
+}
+
+// spscField is one //demux:owned cached-peer field.
+type spscField struct {
+	name string
+	side string // "producer" or "consumer"
+	peer string // the atomic index field this cache shadows
+	typ  *spscType
+}
+
+// SPSCRing returns the spscring analyzer, which checks the
+// single-producer / single-consumer ring discipline that shard.Ring's
+// comments promise. A ring type is annotated
+//
+//	//demux:spsc(producer=Push, consumer=Pop)
+//
+// naming each side's methods ('+'-joined for more than one, e.g.
+// producer=Push+TryPush). Its cached peer-index fields are annotated
+//
+//	cachedHead uint64 //demux:owned(producer, peer=head)
+//	cachedTail uint64 //demux:owned(consumer, peer=tail)
+//
+// The analyzer then enforces three rules:
+//
+//  1. Side isolation: a producer-owned field is touched only by producer
+//     methods, a consumer-owned field only by consumer methods. Neutral
+//     methods (Len, Cap) and plain functions get neither — an unlisted
+//     method that reads cachedHead is exactly the unsynchronized
+//     cross-thread read the cache-line split exists to prevent.
+//  2. Refresh protocol: the only write a side may make to its cached
+//     field is the documented reload, a plain assignment from the peer's
+//     atomic Load (r.cachedHead = r.head.Load()). Any other store —
+//     r.cachedHead++, a constant, arithmetic on the stale cache — would
+//     invent a peer position the peer never published.
+//  3. Annotation coherence: every method listed in the spsc directive
+//     must exist on the type, and every //demux:owned field must name a
+//     real sibling field as its peer and live in a //demux:spsc type;
+//     a misspelling here would silently un-check the contract.
+//
+// Construction in composite literals is exempt (the ring is not shared
+// until the constructor returns). A deliberate violation — a test
+// draining a quiesced ring from the wrong goroutine, say — is waived with
+// //demux:spscok <reason>.
+//
+// Blind spot: the analyzer checks method bodies against roles; it cannot
+// see which goroutine calls Push. The contract's "exactly one goroutine
+// per side" half remains the caller's obligation (and -race's).
+func SPSCRing() *Analyzer {
+	a := &Analyzer{
+		Name: "spscring",
+		Doc:  "enforce producer/consumer side isolation on //demux:spsc ring types",
+	}
+	a.Run = func(pass *Pass) error {
+		typesByPos := make(map[token.Pos]*spscType) // TypeSpec name pos → contract
+		fields := make(map[token.Pos]*spscField)    // field decl pos → contract
+		collectSPSC(pass, typesByPos, fields)
+		if len(typesByPos) == 0 {
+			return nil
+		}
+		methods := methodsByType(pass)
+		//demux:orderinvariant Run sorts diagnostics by position before emitting
+		for pos, st := range typesByPos {
+			for _, side := range [2]string{"producer", "consumer"} {
+				list := st.producer
+				if side == "consumer" {
+					list = st.consumer
+				}
+				//demux:orderinvariant Run sorts diagnostics by position before emitting
+				for m := range list {
+					if !methods[pos][m] {
+						pass.Reportf(st.dir.pos, "//demux:spsc(%s=...) names method %s, but type %s has no such method", side, m, st.name)
+					}
+				}
+			}
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkSPSCFunc(pass, fn, typesByPos, fields)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// collectSPSC gathers //demux:spsc types and //demux:owned fields,
+// reporting owned fields whose contract is incoherent (outside an spsc
+// type, or naming a nonexistent peer).
+func collectSPSC(pass *Pass, out map[token.Pos]*spscType, fields map[token.Pos]*spscField) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				structType, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				var st *spscType
+				if d := typeSpecDirective(gd, ts, "spsc"); d != nil {
+					st = &spscType{
+						name:     ts.Name.Name,
+						producer: splitMethodList(d.kv["producer"]),
+						consumer: splitMethodList(d.kv["consumer"]),
+						dir:      d,
+					}
+					if obj := pass.Info.Defs[ts.Name]; obj != nil {
+						out[obj.Pos()] = st
+					}
+				}
+				siblings := make(map[string]bool)
+				for _, field := range structType.Fields.List {
+					for _, name := range field.Names {
+						siblings[name.Name] = true
+					}
+				}
+				for _, field := range structType.Fields.List {
+					d := fieldDirective(field, "owned")
+					if d == nil {
+						continue
+					}
+					side := ""
+					if len(d.args) > 0 {
+						side = d.args[0]
+					}
+					peer := d.kv["peer"]
+					if st == nil {
+						pass.Reportf(d.pos, "//demux:owned field in type %s, which is not marked //demux:spsc", ts.Name.Name)
+						continue
+					}
+					if side != "producer" && side != "consumer" {
+						// The directive analyzer reports the malformed side;
+						// skip rather than guess.
+						continue
+					}
+					if peer != "" && !siblings[peer] {
+						pass.Reportf(d.pos, "//demux:owned names peer=%s, but %s has no field %s", peer, st.name, peer)
+						peer = ""
+					}
+					for _, name := range field.Names {
+						if obj := pass.Info.Defs[name]; obj != nil {
+							fields[obj.Pos()] = &spscField{name: name.Name, side: side, peer: peer, typ: st}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// splitMethodList decodes a '+'-joined method list from a directive value.
+func splitMethodList(v string) map[string]bool {
+	out := make(map[string]bool)
+	if v == "" {
+		return out
+	}
+	for _, m := range strings.Split(v, "+") {
+		out[m] = true
+	}
+	return out
+}
+
+// methodsByType maps each type declaration position to the set of method
+// names declared on it (any receiver form: T, *T, T[P], *T[P]).
+func methodsByType(pass *Pass) map[token.Pos]map[string]bool {
+	out := make(map[token.Pos]map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			pos, ok := recvTypePos(pass, fn)
+			if !ok {
+				continue
+			}
+			set := out[pos]
+			if set == nil {
+				set = make(map[string]bool)
+				out[pos] = set
+			}
+			set[fn.Name.Name] = true
+		}
+	}
+	return out
+}
+
+// recvTypePos resolves a method's receiver to the declaration position of
+// its base named type, unwrapping pointers and type-parameter lists.
+func recvTypePos(pass *Pass, fn *ast.FuncDecl) (token.Pos, bool) {
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			if obj := useOf(pass.Info, x); obj != nil {
+				return obj.Pos(), true
+			}
+			return token.NoPos, false
+		default:
+			return token.NoPos, false
+		}
+	}
+}
+
+// checkSPSCFunc walks one function, flagging owned-field accesses from
+// the wrong side and cached-field stores that are not the peer reload.
+func checkSPSCFunc(pass *Pass, fn *ast.FuncDecl, spscTypes map[token.Pos]*spscType, fields map[token.Pos]*spscField) {
+	// Determine which side, if any, this function is.
+	var onType *spscType
+	side := ""
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		if pos, ok := recvTypePos(pass, fn); ok {
+			onType = spscTypes[pos]
+		}
+	}
+	if onType != nil {
+		switch {
+		case onType.producer[fn.Name.Name]:
+			side = "producer"
+		case onType.consumer[fn.Name.Name]:
+			side = "consumer"
+		}
+	}
+	inspectStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		fld, ok := fields[s.Obj().Pos()]
+		if !ok {
+			return true
+		}
+		if fld.side != side || fld.typ != onType {
+			if !pass.waived(sel.Pos(), "spscok") {
+				from := "a function outside the ring's methods"
+				switch {
+				case side != "" && onType == fld.typ:
+					from = "the " + side + " side"
+				case onType == fld.typ:
+					from = "a method outside the " + fld.side + " list"
+				}
+				pass.Reportf(sel.Pos(), "field %s is %s-owned SPSC state of %s; touching it from %s races with the %s — waive a quiesced access with //demux:spscok <reason>", fld.name, fld.side, fld.typ.name, from, fld.side)
+			}
+			return true
+		}
+		checkOwnedStore(pass, sel, stack, fld)
+		return true
+	})
+}
+
+// checkOwnedStore verifies that a store to a cached peer field (by its
+// own side) is exactly the documented reload: a plain assignment whose
+// sole RHS is <recv>.<peer>.Load().
+func checkOwnedStore(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node, fld *spscField) {
+	if len(stack) < 2 {
+		return
+	}
+	var rhs ast.Expr
+	switch p := stack[len(stack)-2].(type) {
+	case *ast.AssignStmt:
+		isLHS := false
+		for i, l := range p.Lhs {
+			if l == sel {
+				isLHS = true
+				if p.Tok == token.ASSIGN && len(p.Rhs) == len(p.Lhs) {
+					rhs = p.Rhs[i]
+				}
+			}
+		}
+		if !isLHS {
+			return
+		}
+	case *ast.IncDecStmt:
+		if p.X != sel {
+			return
+		}
+	case *ast.UnaryExpr:
+		if p.Op != token.AND {
+			return
+		}
+		// &r.cachedHead escapes the cache word to code the analyzer
+		// cannot follow; treat like a non-reload store.
+	default:
+		return
+	}
+	if rhs != nil && isPeerReload(rhs, fld.peer) {
+		return
+	}
+	if !pass.waived(sel.Pos(), "spscok") {
+		pass.Reportf(sel.Pos(), "cached peer index %s may only be refreshed by reloading its peer (%s = <ring>.%s.Load()); any other store invents a position the %s never published — waive with //demux:spscok <reason>", fld.name, fld.name, fld.peer, otherSide(fld.side))
+	}
+}
+
+// isPeerReload matches the reload shape <expr>.<peer>.Load().
+func isPeerReload(rhs ast.Expr, peer string) bool {
+	if peer == "" {
+		return false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	loadSel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || loadSel.Sel.Name != "Load" {
+		return false
+	}
+	peerSel, ok := loadSel.X.(*ast.SelectorExpr)
+	return ok && peerSel.Sel.Name == peer
+}
+
+// otherSide returns the opposite SPSC role.
+func otherSide(side string) string {
+	if side == "producer" {
+		return "consumer"
+	}
+	return "producer"
+}

@@ -1,0 +1,40 @@
+package lint
+
+// StaleWaiver returns the stalewaiver analyzer, which keeps the waiver
+// inventory honest. Every waiver in the suite exists to document one
+// specific exception; when the code under it is rewritten or deleted, the
+// waiver comment tends to survive — and a waiver that suppresses nothing
+// is worse than dead weight, because it pre-authorizes the next violation
+// someone writes on that line. This analyzer reports every well-formed
+// waiver directive that no analyzer consumed during the run, so deleting
+// the exceptional code forces deleting its paper trail.
+//
+// It must run after every analyzer that consults waivers (Default()
+// orders it last): "consumed" is a flag Pass.waived sets, so running
+// early would see nothing used and report everything. For the same
+// reason a waiver is reported as stale when its analyzer never looked —
+// a //demux:wallclock in a package virtualtime does not cover is stale
+// by definition: it suppresses nothing there.
+//
+// There is deliberately no waiver for this analyzer. A stale waiver has
+// exactly one fix: delete it.
+func StaleWaiver() *Analyzer {
+	a := &Analyzer{
+		Name: "stalewaiver",
+		Doc:  "report //demux: waivers that suppressed no finding in this run",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, d := range pass.dirs.all {
+			if d.err != "" || d.used {
+				continue
+			}
+			analyzer, isWaiver := waiverNames[d.name]
+			if !isWaiver {
+				continue
+			}
+			pass.Reportf(d.pos, "stale waiver: //demux:%s suppresses no %s finding here; delete it", d.name, analyzer)
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,77 @@
+// Package apub is the atomicpub ordering fixture: a pointer published
+// through a //demux:atomic field (Store/Swap/CompareAndSwap) must be
+// complete before the publish — writes through it afterward hand
+// lock-free readers a half-built value.
+package apub
+
+import "sync/atomic"
+
+type node struct {
+	key  uint32
+	next *node
+}
+
+type chain struct {
+	head atomic.Pointer[node] //demux:atomic
+}
+
+// goodPublish builds the replacement node completely, then publishes:
+// the COW shape internal/rcu uses.
+func goodPublish(c *chain, key uint32) {
+	n := &node{key: key}
+	n.next = c.head.Load()
+	c.head.Store(n)
+}
+
+func badStore(c *chain, key uint32) {
+	n := &node{}
+	c.head.Store(n)
+	n.key = key  // want `published through //demux:atomic field head`
+	n.next = nil // want `published through //demux:atomic field head`
+}
+
+func badSwap(c *chain, key uint32) *node {
+	n := new(node)
+	old := c.head.Swap(n)
+	n.key = key // want `published through //demux:atomic field head`
+	return old
+}
+
+func badCAS(c *chain, key uint32) {
+	n := new(node)
+	if c.head.CompareAndSwap(nil, n) {
+		n.key = key // want `published through //demux:atomic field head`
+	}
+}
+
+// reassignOK rebinds the variable after publishing; the published node
+// itself is never written, and the new binding is a fresh value.
+func reassignOK(c *chain, key uint32) *node {
+	n := &node{key: key}
+	c.head.Store(n)
+	n = &node{key: key + 1}
+	return n
+}
+
+type buf struct{ n int }
+
+type holder struct {
+	cur atomic.Pointer[buf] //demux:atomic
+}
+
+// badAddr publishes the address of a local and keeps writing the local:
+// the same half-built-value hazard without an explicit pointer variable.
+func badAddr(h *holder, v int) {
+	var b buf
+	h.cur.Store(&b)
+	b.n = v // want `published through //demux:atomic field cur`
+}
+
+// waivedLate keeps a writer-private field current after the publish; the
+// waiver documents why readers never look at it.
+func waivedLate(c *chain, key uint32) {
+	n := &node{key: key}
+	c.head.Store(n)
+	//demux:atomicguarded fixture: readers never follow next until the epoch flips
+	n.next = nil
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package rtag
+
+const raceEnabled = true

@@ -1,0 +1,14 @@
+// Package rtag is the build-tag fixture for the loader: race.go and
+// norace.go declare the same constant under complementary constraints,
+// so the package only type-checks if the loader picks exactly one of
+// them — the !race twin by default, the race twin under Tags ["race"] —
+// matching what `go build` and `go build -race` would compile.
+package rtag
+
+// Mode reports which build the loader selected.
+func Mode() string {
+	if raceEnabled {
+		return "race"
+	}
+	return "norace"
+}

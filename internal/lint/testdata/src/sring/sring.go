@@ -1,0 +1,102 @@
+// Package sring is the spscring fixture: a generic SPSC ring whose
+// cached peer indices may only be touched by the annotated side, and
+// only refreshed by reloading the peer's atomic index. The ring is
+// generic on purpose — the analyzer must match fields of instantiated
+// types (ring[int]) back to the annotated declaration.
+package sring
+
+import "sync/atomic"
+
+//demux:spsc(producer=Push+Reserve, consumer=Pop+Drain)
+type ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	head       atomic.Uint64
+	cachedTail uint64 //demux:owned(consumer, peer=tail)
+
+	tail       atomic.Uint64
+	cachedHead uint64 //demux:owned(producer, peer=head)
+}
+
+func newRing[T any](n int) *ring[T] {
+	return &ring[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Push is the producer fast path, with the documented cachedHead reload.
+func (r *ring[T]) Push(v T) bool {
+	t := r.tail.Load()
+	if t-r.cachedHead >= uint64(len(r.buf)) {
+		r.cachedHead = r.head.Load()
+		if t-r.cachedHead >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// Pop is the consumer fast path, with the documented cachedTail reload.
+func (r *ring[T]) Pop() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	if h == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if h == r.cachedTail {
+			return zero, false
+		}
+	}
+	v := r.buf[h&r.mask]
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// Drain is consumer-side and may read the consumer's cache.
+func (r *ring[T]) Drain() int {
+	n := 0
+	for r.cachedTail != r.head.Load() {
+		if _, ok := r.Pop(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Reserve is producer-side but invents a consumer position instead of
+// reloading it.
+func (r *ring[T]) Reserve(n uint64) {
+	r.cachedHead += n // want `may only be refreshed by reloading its peer`
+}
+
+// Len is listed on neither side, so the caches are off limits to it.
+func (r *ring[T]) Len() uint64 {
+	return r.tail.Load() - r.cachedTail // want `consumer-owned SPSC state`
+}
+
+// reset is not a method at all.
+func reset[T any](r *ring[T]) {
+	r.cachedHead = 0 // want `producer-owned SPSC state`
+}
+
+// peekInstantiated proves side isolation survives instantiation: the
+// field of ring[int] is the same annotated declaration.
+func peekInstantiated(r *ring[int]) uint64 {
+	return r.cachedHead // want `producer-owned SPSC state`
+}
+
+// snapshotQuiesced reads both caches after the goroutines have joined;
+// each access carries its waiver.
+func snapshotQuiesced(r *ring[int]) (uint64, uint64) {
+	//demux:spscok fixture: both sides have joined; the ring is quiesced
+	h := r.cachedHead
+	//demux:spscok fixture: both sides have joined; the ring is quiesced
+	t := r.cachedTail
+	return h, t
+}
+
+func reasonlessWaiver(r *ring[int]) uint64 {
+	//demux:spscok
+	return r.cachedTail // want `waiver needs a reason`
+}

@@ -1,0 +1,23 @@
+// Package sringbad holds incoherent SPSC annotations: a method list
+// naming a method that does not exist, an owned field whose peer is not
+// a sibling field, and an owned field in a type that is not marked
+// //demux:spsc. The spscring analyzer reports each at its directive;
+// the expectations live in spscring_test.go because the diagnostics
+// land on the directive comments themselves.
+package sringbad
+
+import "sync/atomic"
+
+//demux:spsc(producer=Push, consumer=Take)
+type rb struct {
+	head       atomic.Uint64
+	cachedHead uint64 //demux:owned(producer, peer=stale)
+}
+
+func (r *rb) Push(v int) {
+	_ = v
+}
+
+type lone struct {
+	cachedX uint64 //demux:owned(consumer, peer=head)
+}

@@ -1,0 +1,22 @@
+// Package swaiver is the stalewaiver fixture: one waiver that earns its
+// keep by suppressing a real finding, and one orphaned by a rewrite that
+// removed the code it covered. The expectations live in
+// stalewaiver_test.go because stalewaiver reports at the waiver comment
+// itself.
+package swaiver
+
+import "math/rand"
+
+// usedWaiver really does use the global RNG on the next line, so
+// seededrand consults (and thereby uses) the waiver.
+func usedWaiver() int {
+	//demux:globalrand fixture: harness-only jitter, determinism not required here
+	return rand.Int()
+}
+
+// orphanWaiver once covered a rand.Int call; the call was deleted and
+// the waiver survived the rewrite.
+func orphanWaiver() int {
+	//demux:globalrand fixture: stale — the call below was deleted
+	return 4
+}

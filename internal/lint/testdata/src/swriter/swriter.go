@@ -1,0 +1,104 @@
+// Package swriter is the singlewriter fixture: fields marked
+// //demux:singlewriter(owner=role) may only be touched from functions
+// marked //demux:owner(role), and the containing struct may not be
+// copied by value outside an owner.
+package swriter
+
+// local mimics telemetry's LocalDemux: observation buffers private to
+// one goroutine, plus an unrestricted identity field.
+type local struct {
+	counts [4]uint64 //demux:singlewriter(owner=localtier)
+	sums   [4]uint64 //demux:singlewriter(owner=localtier)
+	id     int
+}
+
+// newLocal constructs; composite literals are construction, not access.
+func newLocal(id int) *local {
+	return &local{id: id}
+}
+
+// observe is the owning tier's write path.
+//
+//demux:owner(localtier)
+func observe(l *local, i int, v uint64) {
+	l.counts[i&3]++
+	l.sums[i&3] += v
+}
+
+// flush drains from the same role.
+//
+//demux:owner(localtier)
+func flush(l *local) (c, s uint64) {
+	for i := range l.counts {
+		c += l.counts[i]
+		s += l.sums[i]
+		l.counts[i], l.sums[i] = 0, 0
+	}
+	return c, s
+}
+
+// snapshot is an owner, so copying its own state is legal.
+//
+//demux:owner(localtier)
+func snapshot(l *local) local {
+	return *l
+}
+
+func badMutate(l *local) {
+	l.counts[0]++ // want `single-writer state owned by role "localtier"`
+}
+
+func badRead(l *local) uint64 {
+	return l.sums[1] // want `single-writer state owned by role "localtier"`
+}
+
+func badEscape(l *local) *uint64 {
+	return &l.counts[2] // want `single-writer state owned by role "localtier"`
+}
+
+func sink(v local) int { return v.id }
+
+func badCopy(l *local) int {
+	cp := *l // want `copying a local value`
+	_ = cp
+	return sink(*l) // want `copying a local value`
+}
+
+func waivedRead(l *local) uint64 {
+	//demux:crossaccess fixture: harness reads after the owner goroutine has joined
+	return l.sums[0]
+}
+
+func reasonlessWaiver(l *local) uint64 {
+	//demux:crossaccess
+	return l.counts[0] // want `waiver needs a reason`
+}
+
+// steered carries the marker at type level: every field is owned by the
+// deliver role.
+//
+//demux:singlewriter(owner=deliver)
+type steered struct {
+	hits  uint64
+	drops uint64
+}
+
+//demux:owner(deliver)
+func bump(s *steered) {
+	s.hits++
+	s.drops += 0
+}
+
+func badPeek(s *steered) uint64 {
+	return s.drops // want `single-writer state owned by role "deliver"`
+}
+
+// orphan's role names no function in the package: the contract itself is
+// broken, reported at the field.
+type orphan struct {
+	//demux:singlewriter(owner=nobody)
+	x uint64 // want `no function in this package is marked`
+}
+
+//demux:owner(nobody2)
+func claimOrphan() {}

@@ -31,6 +31,8 @@ import "sync/atomic"
 // Slot contents are handed off through the release/acquire ordering of
 // the index stores: a Pop that observes tail > i happens-after the Push
 // that filled slot i.
+//
+//demux:spsc(producer=Push, consumer=Pop)
 type Ring[T any] struct {
 	buf  []T
 	mask uint64
@@ -39,13 +41,13 @@ type Ring[T any] struct {
 	// the consumer's last view of the producer's position.
 	_          [64]byte
 	head       atomic.Uint64 //demux:atomic
-	cachedTail uint64
+	cachedTail uint64        //demux:owned(consumer, peer=tail)
 
 	// Producer-owned line: tail is the next slot to fill; cachedHead is
 	// the producer's last view of the consumer's position.
 	_          [64]byte
 	tail       atomic.Uint64 //demux:atomic
-	cachedHead uint64
+	cachedHead uint64        //demux:owned(producer, peer=head)
 	_          [64]byte
 }
 

@@ -115,8 +115,11 @@ type StackSet struct {
 	frames  uint64
 
 	// Steered counts frames dispatched per shard; the remaining counters
-	// describe the migration machinery.
-	Steered       []uint64
+	// describe the migration machinery. Steered is written only on the
+	// Deliver path (the deliver role); external readers consume it after
+	// the run, outside this package and hence outside the analyzer's
+	// reach.
+	Steered       []uint64 //demux:singlewriter(owner=deliver)
 	Rekeys        uint64
 	Migrations    uint64
 	StaleHandoffs uint64
@@ -273,6 +276,8 @@ func (set *StackSet) steerFrame(frame []byte) (int, []byte) {
 // returned Result is the shard demuxer's lookup result for this frame
 // (zero for an absorbed fragment), so callers can account examination
 // costs exactly as with a single Stack.
+//
+//demux:owner(deliver)
 func (set *StackSet) Deliver(frame []byte) (core.Result, error) {
 	idx, whole := set.steerFrame(frame)
 	if idx < 0 {

@@ -34,11 +34,14 @@ const localCells = 128
 // state is private. For cross-goroutine wrappers or flight recording,
 // use InstrumentConcurrent instead.
 type LocalDemux struct {
-	inner  ConcurrentDemuxer
-	m      *DemuxMetrics
-	counts [localCells]uint64
-	sums   [localCells]uint64
-	max    [outcomeCount]uint64
+	inner ConcurrentDemuxer
+	m     *DemuxMetrics
+	// The observation buffers belong to the owning goroutine's localtier
+	// role: only observe (the accumulate path) and Flush (the drain path)
+	// may touch them, which demuxvet's singlewriter analyzer enforces.
+	counts [localCells]uint64   //demux:singlewriter(owner=localtier)
+	sums   [localCells]uint64   //demux:singlewriter(owner=localtier)
+	max    [outcomeCount]uint64 //demux:singlewriter(owner=localtier)
 }
 
 // InstrumentLocal wraps inner with a private observation buffer folding
@@ -51,6 +54,7 @@ func InstrumentLocal(inner ConcurrentDemuxer, m *DemuxMetrics) *LocalDemux {
 // no atomics, no allocation.
 //
 //demux:hotpath
+//demux:owner(localtier)
 func (l *LocalDemux) observe(r core.Result) {
 	o := outcomeFound
 	switch {
@@ -76,6 +80,8 @@ func (l *LocalDemux) observe(r core.Result) {
 // Flush folds the private buffer into the shared histograms (via their
 // spill counters, which Snapshot already sums) and clears it. Totals
 // are exact after every owner has flushed.
+//
+//demux:owner(localtier)
 func (l *LocalDemux) Flush() {
 	hs := [outcomeCount]*Histogram{
 		outcomeHit:      l.m.hit,

@@ -21,7 +21,7 @@
 // stripes established). A hot-path update is one or two uncontended
 // atomic adds; folding the stripes into a total happens only at snapshot
 // time. The demuxvet hotalloc analyzer enforces the no-allocation claim
-// on every function marked //demux:hotpath, and atomicfield guards the
+// on every function marked //demux:hotpath, and atomicpub guards the
 // //demux:atomic slot words.
 //
 // # Determinism contract
