@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint lint-fixtures test race chaos shard bench bench-json bench-json-adversarial bench-json-cache bench-json-shard bench-gate fuzz figures clean
+.PHONY: all build vet lint lint-fixtures test race chaos shard failover bench bench-json bench-json-adversarial bench-json-cache bench-json-shard bench-json-failover bench-gate fuzz figures clean
 
 all: build vet lint test
 
@@ -62,6 +62,17 @@ shard:
 	$(GO) test -race -count=1 ./internal/shard
 	$(GO) test -race -count=1 -run 'ExtractAdopt|AdoptRearms' ./internal/engine
 
+# failover is the shard failure-domain conformance gate: chaos-driven
+# crash/stall/wedge/slow faults against the multi-queue engine, the
+# health watchdog's live drain, the inbox backpressure ordering
+# regression, and the CLI failover workload — all under the race
+# detector, all held to byte-identical delivery and a balanced
+# conservation ledger.
+failover:
+	$(GO) test -race -count=1 -run 'Failover|FailOver|Wedge|Stall|Backpressure|StaleGeneration|DirectoryFull|ShardSetMetrics' ./internal/shard ./internal/telemetry
+	$(GO) test -race -count=1 -run 'TestShard' ./internal/chaos
+	$(GO) test -race -count=1 -run 'TestRunFailover' ./cmd/demuxsim ./cmd/benchjson
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -95,6 +106,15 @@ bench-json-cache:
 bench-json-shard:
 	$(GO) run ./cmd/benchjson -workload shard -rounds 5 -ops 200000 -n 6000 -out BENCH_shard.json
 
+# bench-json-failover measures the shard failure domains under virtual
+# time (EXP-FAILOVER): crash and stall the busiest of 4 shards mid-run
+# under 20% drop / 10% dup and record watchdog detection latency, drain
+# recovery, and windowed goodput. The numbers are virtual-time ticks —
+# deterministic for a given seed, so the gate tolerance has no jitter to
+# absorb.
+bench-json-failover:
+	$(GO) run ./cmd/benchjson -workload failover -out BENCH_failover.json
+
 # bench-gate is the perf regression gate: it remeasures the cache and
 # parallel workloads at the committed artifacts' operating points and
 # fails if any shared configuration's best nsPerOp regressed beyond the
@@ -112,6 +132,8 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -compare BENCH_parallel.json bin/BENCH_parallel.head.json -tolerance $(BENCH_TOLERANCE)
 	$(GO) run ./cmd/benchjson -workload shard -rounds 3 -ops 60000 -n 6000 -out bin/BENCH_shard.head.json
 	$(GO) run ./cmd/benchjson -compare BENCH_shard.json bin/BENCH_shard.head.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchjson -workload failover -out bin/BENCH_failover.head.json
+	$(GO) run ./cmd/benchjson -compare BENCH_failover.json bin/BENCH_failover.head.json -tolerance $(BENCH_TOLERANCE)
 
 # Short fuzz pass over the wire parsers and the full receive path
 # (CI-sized; raise FUZZTIME locally).

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunFailoverReport drives the virtual-time failover workload at a
+// small operating point and checks the report's structure: the
+// unfaulted baseline plus both fault scenarios, each with detect /
+// recover / complete modes, a balanced conservation ledger, and a
+// document the -compare gate can load. It runs at the defaults — the
+// committed BENCH_failover.json's exact operating point — because the
+// watchdog's detection bound assumes enough live traffic that a stalled
+// shard's inbox actually queues frames; a tiny client population can
+// leave the victim idle and push progress-based detection out past the
+// bound.
+func TestRunFailoverReport(t *testing.T) {
+	rep, err := runFailover(defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline complete + (detect, recover, complete) per fault scenario.
+	seen := map[string]float64{}
+	for _, r := range rep.Results {
+		seen[r.Discipline+"/"+r.Mode] = r.Best.NsPerOp
+	}
+	for _, key := range []string{
+		"failover-none/complete",
+		"failover-crash1of4/detect", "failover-crash1of4/recover", "failover-crash1of4/complete",
+		"failover-stall1of4/detect", "failover-stall1of4/recover", "failover-stall1of4/complete",
+	} {
+		ticks, ok := seen[key]
+		if !ok {
+			t.Fatalf("missing result %s: %v", key, seen)
+		}
+		if ticks <= 0 {
+			t.Fatalf("%s: non-positive virtual-time ticks %v", key, ticks)
+		}
+	}
+
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios", len(rep.Scenarios))
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Drains != 1 || sc.DrainedConns == 0 {
+			t.Fatalf("%s: drain ledger %d/%d", sc.Name, sc.Drains, sc.DrainedConns)
+		}
+		if !sc.Accounting.Balanced() {
+			t.Fatalf("%s: unaccounted packet losses: %+v", sc.Name, sc.Accounting)
+		}
+		if sc.DetectTicks <= 0 || sc.CompleteTicks <= 0 {
+			t.Fatalf("%s: implausible latencies %+v", sc.Name, sc)
+		}
+		if sc.GoodputBefore <= 0 {
+			t.Fatalf("%s: no goodput before the fault", sc.Name)
+		}
+	}
+
+	// The emitted document must be loadable by the gate's comparator:
+	// Discipline/Mode/Best.NsPerOp have to survive the round trip.
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_failover.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gate, err := loadGateReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gate.Results) != len(rep.Results) {
+		t.Fatalf("gate sees %d results, report has %d", len(gate.Results), len(rep.Results))
+	}
+	for _, r := range gate.Results {
+		want, ok := seen[r.Discipline+"/"+r.Mode]
+		if !ok || r.Best.NsPerOp != want {
+			t.Fatalf("gate pairing lost %s/%s: got %v want %v",
+				r.Discipline, r.Mode, r.Best.NsPerOp, want)
+		}
+	}
+}
+
+// TestRunFailoverDeterministic reruns the workload at the same seed and
+// requires tick-identical latencies — the property that lets the bench
+// gate hold BENCH_failover.json to a tight tolerance across hosts.
+func TestRunFailoverDeterministic(t *testing.T) {
+	a, err := runFailover(defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runFailover(defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		ra, rb := a.Results[i], b.Results[i]
+		if ra.Discipline != rb.Discipline || ra.Mode != rb.Mode || ra.Best.NsPerOp != rb.Best.NsPerOp {
+			t.Fatalf("run diverged at %s/%s: %v vs %v",
+				ra.Discipline, ra.Mode, ra.Best.NsPerOp, rb.Best.NsPerOp)
+		}
+	}
+}

@@ -17,6 +17,11 @@
 //     sweeping the shard count (1, 2, 4, max). With the chain count
 //     held fixed, each shard's table holds ~1/N of the PCBs, so the
 //     sweep exposes the paper's C(N) partitioning effect directly.
+//   - failover (BENCH_failover.json): shard failure domains under
+//     virtual time — crash and stall one shard of four mid-exchange and
+//     measure watchdog detection latency, live-drain recovery, and
+//     windowed goodput in deterministic virtual-time ticks (see
+//     failover.go; nsPerOp is ticks, not wall nanoseconds).
 //
 // Methodology: every configuration is measured -rounds times with the
 // rounds interleaved round-robin across configurations, and the summary
@@ -27,7 +32,7 @@
 //
 // Usage:
 //
-//	benchjson [-workload parallel|cache|adversarial|shard] [-out FILE]
+//	benchjson [-workload parallel|cache|adversarial|shard|failover] [-out FILE]
 //	          [-rounds 5] [-gomaxprocs 4] [-workers 4*gomaxprocs]
 //	          [-ops 200000] [-users 1000] [-read 0.99] [-batch 64]
 //	          [-chains 19] [-seed 7]
@@ -151,7 +156,7 @@ func main() {
 	flag.IntVar(&opt.Batch, "batch", opt.Batch, "train length for the batched mode")
 	flag.IntVar(&opt.Chains, "chains", opt.Chains, "hash chains")
 	flag.Uint64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
-	flag.StringVar(&opt.Workload, "workload", opt.Workload, "benchmark workload: parallel, cache, adversarial, or shard")
+	flag.StringVar(&opt.Workload, "workload", opt.Workload, "benchmark workload: parallel, cache, adversarial, shard, or failover")
 	compareMode := flag.Bool("compare", false, "compare two report files (old new) and gate on nsPerOp regressions")
 	tolerance := flag.Float64("tolerance", defaultTolerance, "allowed fractional nsPerOp regression in -compare mode")
 	flag.Parse()
@@ -165,6 +170,7 @@ func main() {
 			"cache":       "BENCH_cache.json",
 			"adversarial": "BENCH_adversarial.json",
 			"shard":       "BENCH_shard.json",
+			"failover":    "BENCH_failover.json",
 		}[opt.Workload]
 	}
 
@@ -204,8 +210,17 @@ func main() {
 				sr.Summary.QuadOverSingle, sr.Summary.ExaminedSingle, sr.Summary.ExaminedQuad)
 		}
 		rep = sr
+	case "failover":
+		var fr *failoverReport
+		fr, err = runFailover(opt)
+		if fr != nil && len(fr.Scenarios) > 0 {
+			sc := fr.Scenarios[0]
+			note = fmt.Sprintf("%s detected in %.0f ticks, recovered in %.0f",
+				sc.Name, sc.DetectTicks, sc.RecoverTicks)
+		}
+		rep = fr
 	default:
-		err = fmt.Errorf("unknown workload %q (have parallel, cache, adversarial, shard)", opt.Workload)
+		err = fmt.Errorf("unknown workload %q (have parallel, cache, adversarial, shard, failover)", opt.Workload)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

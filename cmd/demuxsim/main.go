@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	demuxsim [-workload tpca|trains|polling|churn|parallel|lossy|adversarial|sharded]
+//	demuxsim [-workload tpca|trains|polling|churn|parallel|lossy|adversarial|sharded|failover]
 //	         [-algos bsd,mtf,sr,sequent] [-n users] [-r response] [-d rtt]
 //	         [-chains n] [-txns perUser] [-seed n] [-drop p] [-dup p]
 //	         [-attack n] [-flood n] [-syncookies=false] [-shards n]
@@ -32,6 +32,15 @@
 // checked byte-for-byte against the single-stack baseline — the
 // cross-shard conformance argument from internal/shard's tests, run
 // live over whatever -drop/-dup loss process the flags select.
+//
+// The failover workload is the sharded workload under a scripted shard
+// failure (-fault crash|stall|wedge|slow, -failshard, -failat): one
+// shard of -shards dies mid-exchange, the health watchdog detects it and
+// live-drains its connections into the survivors, and the run must still
+// match the single-stack baseline byte for byte — with every frame
+// accounted for by the conservation ledger. By default the victim is the
+// busiest shard of an unfaulted probe run and the fault lands at 40% of
+// the probe's completion time.
 //
 // The parallel workload replays a recorded TPC/A inbound stream through
 // the concurrent locking disciplines (-algos then names disciplines, e.g.
@@ -95,6 +104,10 @@ func main() {
 		floodN   = flag.Int("flood", 5000, "adversarial workload: spoofed SYNs fired at the listener")
 		cookies  = flag.Bool("syncookies", true, "adversarial workload: enable SYN cookies on the flooded listener")
 		shardsN  = flag.Int("shards", 4, "sharded workload: largest shard count in the sweep")
+		faultStr = flag.String("fault", "crash", "failover workload: fault to inject (crash, stall, wedge, slow)")
+		failIdx  = flag.Int("failshard", -1, "failover workload: victim shard (-1 = busiest shard of a probe run)")
+		failAt   = flag.Float64("failat", 0, "failover workload: virtual time of the fault (0 = 40% of probe completion)")
+		failFor  = flag.Float64("failfor", 0, "failover workload: fault duration in virtual seconds (0 = forever; wedge defaults to 2s)")
 		metrics  = flag.String("metrics", "", "serve /metrics (Prometheus) and /metrics.json on this addr; the process stays alive after the run for scraping")
 		flight   = flag.String("flight", "", "adversarial workload: export the flight-recorder capture to this trace file")
 	)
@@ -127,6 +140,8 @@ func main() {
 		err = runLossy(os.Stdout, algoList, *users, *txns, *chains, *seed, *drop, *dup, *hash)
 	} else if *workload == "sharded" {
 		err = runSharded(os.Stdout, *users, *txns, *chains, *shardsN, *seed, *drop, *dup, *hash)
+	} else if *workload == "failover" {
+		err = runFailover(os.Stdout, *users, *txns, *chains, *shardsN, *seed, *drop, *dup, *hash, *faultStr, *failIdx, *failAt, *failFor)
 	} else if *workload == "adversarial" {
 		err = runAdversarial(os.Stdout, advConfig{
 			chains: *chains, seed: *seed, hash: *hash,

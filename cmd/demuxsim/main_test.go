@@ -371,3 +371,46 @@ func TestRunParallelWithTelemetry(t *testing.T) {
 		t.Fatal("parallel run recorded no examined observations")
 	}
 }
+
+func TestRunFailoverWorkload(t *testing.T) {
+	var b strings.Builder
+	// Small population so the probe + faulted runs stay fast; the crash
+	// is fail-stop, so the run must report a drain and stay conformant.
+	err := runFailover(&b, 8, 12, 19, 4, 1, 0.20, 0.05, "multiplicative", "crash", -1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"workload=failover", "fault=crash", "drained",
+		"completed=true conformant=true", "drains=1", "balanced=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFailoverWedgeDegrades(t *testing.T) {
+	var b strings.Builder
+	err := runFailover(&b, 8, 12, 19, 4, 1, 0.20, 0.05, "multiplicative", "wedge", -1, 1.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fault=wedge", "drains=0", "completed=true conformant=true", "balanced=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFailoverBadFault(t *testing.T) {
+	var b strings.Builder
+	if err := runFailover(&b, 4, 2, 19, 4, 1, 0, 0, "multiplicative", "meteor", -1, 0, 0); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+	if err := runFailover(&b, 4, 2, 19, 1, 1, 0, 0, "multiplicative", "crash", -1, 0, 0); err == nil {
+		t.Fatal("single-shard failover accepted — there is no survivor to drain to")
+	}
+}

@@ -103,6 +103,27 @@ func (s *Stack) clock() float64 {
 	return s.now
 }
 
+// Heartbeat arms a self-rearming timer on the stack's lifecycle wheel:
+// fn fires every interval virtual seconds for as long as the stack's
+// clock keeps advancing. Because the beat lives on the stack's own
+// wheel, it stops exactly when the stack stops Ticking — which is what
+// lets a supervisor (the internal/shard watchdog) distinguish a crashed
+// shard, whose clock froze, from an idle one, whose clock still beats.
+// Like every lifecycle timer, fn runs inside Tick with the stack lock
+// held: it may not call public Stack/Conn methods that re-lock.
+func (s *Stack) Heartbeat(interval float64, fn func(now float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var arm func()
+	arm = func() {
+		s.wheel.Schedule(s.clock()+interval, func(now float64) {
+			fn(now)
+			arm()
+		})
+	}
+	arm()
+}
+
 // Now returns the stack's current virtual time (the last Tick).
 func (s *Stack) Now() float64 {
 	s.mu.Lock()

@@ -1,0 +1,619 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tcpdemux/internal/core"
+	"tcpdemux/internal/engine"
+	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/telemetry"
+	"tcpdemux/internal/wire"
+)
+
+// probeLossy runs the unfaulted lossy conformance exchange against a
+// fresh n-shard set and returns both, so a failure test built on the
+// same seeds can pick a victim shard that demonstrably owns traffic and
+// a fault time that demonstrably lands mid-run. Both runs are fully
+// deterministic, so the probe's steering matches the faulted run's
+// steering exactly up to the fault.
+func probeLossy(t *testing.T, n int, seed uint64) (*StackSet, *engine.LossyResult) {
+	t.Helper()
+	set := newSet(t, n, seed)
+	res, err := engine.RunLossyExchange(nil, lossyCfg(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("probe exchange did not complete (t=%v)", res.VirtualTime)
+	}
+	return set, res
+}
+
+func busiest(steered []uint64) int {
+	best := 0
+	for i, n := range steered {
+		if n > steered[best] {
+			best = i
+		}
+	}
+	_ = steered[best]
+	return best
+}
+
+// faultOn builds a FaultFunc applying v to one shard from time at on.
+func faultOn(victim int, at float64, v FaultVerdict) FaultFunc {
+	return func(sh int, now float64) FaultVerdict {
+		if sh == victim && now >= at {
+			return v
+		}
+		return FaultVerdict{}
+	}
+}
+
+// TestCrashFailoverConformanceLossy is the failure-domain acceptance
+// gate: crash 1 of 4 shards mid-run under the 20% drop / 10% dup link.
+// The watchdog must detect the frozen clock, drain the victim's
+// connections into the survivors, and every client — surviving and
+// drained alike — must still collect byte-identical responses to the
+// unfaulted single-stack run, with the conservation ledger balanced.
+func TestCrashFailoverConformanceLossy(t *testing.T) {
+	single, err := engine.RunLossyExchange(
+		core.NewSequentHash(0, hashfn.Multiplicative{}), lossyCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.Completed {
+		t.Fatalf("single-shard exchange did not complete (t=%v)", single.VirtualTime)
+	}
+
+	probe, probeRes := probeLossy(t, 4, 77)
+	victim := busiest(probe.Steered)
+	crashAt := probeRes.VirtualTime * 0.4
+	if crashAt < 0.3 {
+		crashAt = 0.3
+	}
+
+	set := newSet(t, 4, 77)
+	set.SetFaultFunc(faultOn(victim, crashAt, FaultVerdict{Crash: true}))
+	sharded, err := engine.RunLossyExchange(nil, lossyCfg(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sharded.Completed {
+		t.Fatalf("faulted exchange did not complete (t=%v)", sharded.VirtualTime)
+	}
+	if sharded.VirtualTime <= crashAt {
+		t.Fatalf("exchange finished at %v, before the crash at %v", sharded.VirtualTime, crashAt)
+	}
+
+	for i := range single.Responses {
+		if !bytes.Equal(single.Responses[i], sharded.Responses[i]) {
+			t.Fatalf("client %d responses differ after failover:\nsingle:  %q\nfaulted: %q",
+				i, single.Responses[i], sharded.Responses[i])
+		}
+	}
+
+	if set.Drains != 1 {
+		t.Fatalf("Drains = %d, want exactly 1", set.Drains)
+	}
+	if !set.Drained(victim) || set.Health(victim) != HealthDrained {
+		t.Fatalf("victim shard %d health = %v, want drained", victim, set.Health(victim))
+	}
+	if set.DrainedConns == 0 {
+		t.Fatalf("drain rehomed no connections off the busiest shard (steered %v)", probe.Steered)
+	}
+	if set.LastDrainAt <= crashAt {
+		t.Fatalf("LastDrainAt = %v, not after the crash at %v", set.LastDrainAt, crashAt)
+	}
+	// Recovery latency is bounded by the stall threshold plus detection
+	// slack — the "bounded number of virtual-time ticks" acceptance bound.
+	if set.LastDrainRecovery <= 0 || set.LastDrainRecovery > 2*DefaultStallThreshold {
+		t.Fatalf("LastDrainRecovery = %v, want in (0, %v]", set.LastDrainRecovery, 2*DefaultStallThreshold)
+	}
+	if acc := set.Accounting(); !acc.Balanced() {
+		t.Fatalf("unaccounted packet losses: %+v", acc)
+	}
+}
+
+// TestStallFailoverDetectsStuckConsumer covers the second detection
+// path: the victim's clock keeps beating but its consumer stops, so the
+// watchdog must catch it through the progress counter, salvage the
+// frames aged on its inbox, and drain it — with conformance and
+// conservation intact.
+func TestStallFailoverDetectsStuckConsumer(t *testing.T) {
+	probe, probeRes := probeLossy(t, 4, 77)
+	victim := busiest(probe.Steered)
+	stallAt := probeRes.VirtualTime * 0.4
+	if stallAt < 0.3 {
+		stallAt = 0.3
+	}
+
+	set := newSet(t, 4, 77)
+	set.SetFaultFunc(faultOn(victim, stallAt, FaultVerdict{Stall: true}))
+	res, err := engine.RunLossyExchange(nil, lossyCfg(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("stalled exchange did not complete (t=%v)", res.VirtualTime)
+	}
+	if set.Drains != 1 || !set.Drained(victim) {
+		t.Fatalf("stall not drained: drains=%d health=%v", set.Drains, set.Health(victim))
+	}
+	// A stalled consumer leaves its inbox backlog in place; the drain
+	// must have salvaged it rather than dropping it on the floor.
+	if set.SalvagedFrames == 0 {
+		t.Fatal("no frames salvaged from the stalled shard's inbox")
+	}
+	if acc := set.Accounting(); !acc.Balanced() {
+		t.Fatalf("unaccounted packet losses: %+v", acc)
+	}
+}
+
+// TestWedgeDegradesWithoutDrain checks the degradation ladder: a shard
+// whose rings refuse pushes for a bounded window sheds (counted,
+// attributed) and is marked Degraded, but its clock and consumer are
+// fine, so the watchdog must NOT drain it — and once the wedge clears
+// and the sheds stop, the shard must walk back to Healthy while the
+// retransmission machinery recovers every lost frame.
+func TestWedgeDegradesWithoutDrain(t *testing.T) {
+	probe, probeRes := probeLossy(t, 4, 77)
+	victim := busiest(probe.Steered)
+	wedgeAt := probeRes.VirtualTime * 0.3
+	if wedgeAt < 0.3 {
+		wedgeAt = 0.3
+	}
+	wedgeEnd := wedgeAt + 0.3
+
+	set := newSet(t, 4, 77)
+	set.SetFaultFunc(func(sh int, now float64) FaultVerdict {
+		if sh == victim && now >= wedgeAt && now < wedgeEnd {
+			return FaultVerdict{Wedge: true}
+		}
+		return FaultVerdict{}
+	})
+	res, err := engine.RunLossyExchange(nil, lossyCfg(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("wedged exchange did not complete (t=%v)", res.VirtualTime)
+	}
+	if set.Drains != 0 {
+		t.Fatalf("a transient wedge must degrade, not drain: drains=%d", set.Drains)
+	}
+	if set.InboxFullEvents == 0 || set.ShedInboxFull == 0 {
+		t.Fatalf("wedge shed nothing: events=%d shed=%d (steered %v)",
+			set.InboxFullEvents, set.ShedInboxFull, probe.Steered)
+	}
+	if set.Health(victim) != HealthHealthy {
+		t.Fatalf("victim health = %v after the wedge cleared, want healthy", set.Health(victim))
+	}
+	if acc := set.Accounting(); !acc.Balanced() {
+		t.Fatalf("unaccounted packet losses: %+v", acc)
+	}
+}
+
+// TestSlowConsumerCapsThroughput checks the mildest fault: a shard
+// capped at one frame per delivery keeps working — the exchange
+// completes conformantly with no sheds and no drains, just slower.
+func TestSlowConsumerCapsThroughput(t *testing.T) {
+	probe, _ := probeLossy(t, 4, 77)
+	victim := busiest(probe.Steered)
+
+	set := newSet(t, 4, 77)
+	set.SetFaultFunc(faultOn(victim, 0, FaultVerdict{MaxConsume: 1}))
+	res, err := engine.RunLossyExchange(nil, lossyCfg(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("slow-consumer exchange did not complete (t=%v)", res.VirtualTime)
+	}
+	if set.Drains != 0 {
+		t.Fatalf("a slow consumer must not be drained: drains=%d", set.Drains)
+	}
+	if acc := set.Accounting(); !acc.Balanced() {
+		t.Fatalf("unaccounted packet losses: %+v", acc)
+	}
+}
+
+// TestInboxBackpressurePreservesOrder is the regression test for the
+// old inbox-full fallback, which delivered the overflowing frame
+// directly — bypassing the single-writer inbox path and reordering it
+// ahead of everything still queued. The backpressure path must instead
+// drain queued frames first: five consecutive data segments pushed
+// through a cap-4 inbox must reach the application in sequence order.
+func TestInboxBackpressurePreservesOrder(t *testing.T) {
+	const port = uint16(1521)
+	set, err := NewStackSet(wire.MakeAddr(10, 0, 0, 1), Config{
+		Shards: 1,
+		NewDemuxer: func(int) core.Demuxer {
+			return core.NewSequentHash(0, hashfn.Multiplicative{})
+		},
+		Seed:     7,
+		InboxCap: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	if err := set.Listen(port, func(_ *engine.Conn, p []byte) []byte {
+		got = append(got, append([]byte(nil), p...))
+		return []byte("ok")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client := engine.NewStack(wire.MakeAddr(10, 0, 0, 2), core.NewMapDemux(), 9)
+	conn, err := client.ConnectEphemeral(set.Addr(), port, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Pump(client, set); err != nil {
+		t.Fatal(err)
+	}
+	if conn.State() != core.StateEstablished {
+		t.Fatalf("handshake did not complete: %v", conn.State())
+	}
+
+	// One real data segment gives us the connection's live header; the
+	// next four are crafted at consecutive sequence numbers so all five
+	// are in-order, in-window payloads.
+	if err := conn.Send([]byte("p0")); err != nil {
+		t.Fatal(err)
+	}
+	frames := client.Drain()
+	if len(frames) != 1 {
+		t.Fatalf("expected 1 data frame, got %d", len(frames))
+	}
+	seg, err := wire.ParseSegment(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := [][]byte{frames[0]}
+	for i := 1; i < 5; i++ {
+		tcp := seg.TCP
+		tcp.Seq = seg.TCP.Seq + uint32(i*len(seg.Payload))
+		f, err := wire.BuildSegment(seg.IP, tcp, []byte(fmt.Sprintf("p%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, f)
+	}
+
+	// Stall the consumer while the first four segments arrive: they
+	// queue and exactly fill the cap-4 ring.
+	set.SetFaultFunc(func(int, float64) FaultVerdict { return FaultVerdict{Stall: true} })
+	for _, f := range segs[:4] {
+		if _, err := set.Deliver(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := set.inbox[0].Len(); n != 4 {
+		t.Fatalf("inbox holds %d frames, want a full ring of 4", n)
+	}
+	if len(got) != 0 {
+		t.Fatalf("stalled consumer delivered %d payloads", len(got))
+	}
+
+	// Consumer recovers; the fifth segment hits a full ring. The old
+	// code would deliver it directly — out of order, a future segment
+	// the receiver stashes or drops. The backpressure path must drain
+	// the queue first and keep the application order intact.
+	set.SetFaultFunc(nil)
+	if _, err := set.Deliver(segs[4]); err != nil {
+		t.Fatal(err)
+	}
+	if set.InboxFullEvents == 0 {
+		t.Fatal("full inbox not counted")
+	}
+	if set.ShedInboxFull != 0 {
+		t.Fatalf("backpressure shed %d frames with a live consumer", set.ShedInboxFull)
+	}
+	want := []string{"p0", "p1", "p2", "p3", "p4"}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d payloads, want %d: %q", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Fatalf("payload %d = %q, want %q (reordered delivery): %q", i, got[i], w, got)
+		}
+	}
+	if acc := set.Accounting(); !acc.Balanced() {
+		t.Fatalf("unaccounted packet losses: %+v", acc)
+	}
+}
+
+// TestHandoffWedgeRevertsRekey drives the handoff ring-full fallback: a
+// rekey that tries to migrate connections into a shard whose rings are
+// wedged must exhaust its bounded retries, revert each move through the
+// directory, and leave every connection answering on its original
+// shard — migration capability shed, connections never lost.
+func TestHandoffWedgeRevertsRekey(t *testing.T) {
+	const (
+		port    = uint16(1521)
+		clients = 8
+	)
+	set := newSet(t, 2, 13)
+	if err := set.Listen(port, func(_ *engine.Conn, p []byte) []byte {
+		return append(append([]byte("ok<"), p...), '>')
+	}); err != nil {
+		t.Fatal(err)
+	}
+	set.SetBacklog(clients)
+
+	client := engine.NewStack(wire.MakeAddr(10, 0, 0, 2), core.NewMapDemux(), 8)
+	conns := make([]*engine.Conn, clients)
+	for i := range conns {
+		c, err := client.ConnectEphemeral(set.Addr(), port, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	if _, err := engine.Pump(client, set); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range conns {
+		if c.State() != core.StateEstablished {
+			t.Fatalf("conn %d handshake did not complete: %v", i, c.State())
+		}
+	}
+
+	// Wedge shard 1's rings, then rekey until some mover aims at it and
+	// has to revert. Movers toward shard 0 still succeed — the wedge is
+	// a property of the destination, not of the rekey.
+	set.SetFaultFunc(func(sh int, _ float64) FaultVerdict {
+		if sh == 1 {
+			return FaultVerdict{Wedge: true}
+		}
+		return FaultVerdict{}
+	})
+	for tries := 0; tries < 16 && set.ShedHandoffFull == 0; tries++ {
+		set.Rekey()
+	}
+	if set.ShedHandoffFull == 0 {
+		t.Fatal("no rekey tried to move a connection into the wedged shard")
+	}
+	if set.HandoffFullEvents == 0 {
+		t.Fatal("wedged handoff ring not counted as full")
+	}
+	if set.StaleHandoffs != 0 {
+		t.Fatalf("StaleHandoffs = %d during quiesced rekeys", set.StaleHandoffs)
+	}
+	set.SetFaultFunc(nil)
+
+	// The claims table must agree with where the PCBs actually live.
+	owned := make([]map[core.Key]bool, set.Shards())
+	for i := range owned {
+		owned[i] = make(map[core.Key]bool)
+		for _, ci := range set.Shard(i).Netstat() {
+			if !ci.Key.IsWildcard() {
+				owned[i][ci.Key] = true
+			}
+		}
+	}
+	set.claimMu.Lock()
+	for k, cl := range set.claims {
+		if !owned[cl.owner][k] {
+			set.claimMu.Unlock()
+			t.Fatalf("claim for %v names shard %d but the PCB is not there", k, cl.owner)
+		}
+	}
+	set.claimMu.Unlock()
+
+	// Every connection — reverted movers included, despite the steering
+	// function now pointing elsewhere — must still answer.
+	for i, c := range conns {
+		if err := c.Send([]byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := engine.Pump(client, set); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range conns {
+		want := []byte{'o', 'k', '<', byte('a' + i), '>'}
+		if got := c.Receive(); !bytes.Equal(got, want) {
+			t.Fatalf("conn %d after reverted rekey: got %q want %q", i, got, want)
+		}
+	}
+}
+
+// TestStaleGenerationHandoffDropped pins the generation check on the
+// adopt side: a handoff overtaken in flight by a later directory move
+// carries a stale generation and must be discarded — counted, not
+// adopted — because whoever bumped the generation owns the PCB now.
+func TestStaleGenerationHandoffDropped(t *testing.T) {
+	const port = uint16(1521)
+	set := newSet(t, 2, 11)
+	if err := set.Listen(port, func(_ *engine.Conn, p []byte) []byte {
+		return append(append([]byte("ok<"), p...), '>')
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client := engine.NewStack(wire.MakeAddr(10, 0, 0, 2), core.NewMapDemux(), 8)
+	conn, err := client.ConnectEphemeral(set.Addr(), port, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Pump(client, set); err != nil {
+		t.Fatal(err)
+	}
+	if conn.State() != core.StateEstablished {
+		t.Fatalf("handshake did not complete: %v", conn.State())
+	}
+
+	var k core.Key
+	var cl claim
+	set.claimMu.Lock()
+	for key, c := range set.claims {
+		k, cl = key, c
+	}
+	set.claimMu.Unlock()
+	if cl.id < 0 {
+		t.Fatalf("connection got no directory slot: %+v", cl)
+	}
+	home, other := cl.owner, 1-cl.owner
+
+	// Launch a handoff toward the other shard, then overtake it: a
+	// second move brings the slot home before the message is adopted.
+	pcb, ok := set.Shard(home).Extract(k)
+	if !ok {
+		t.Fatal("extract failed")
+	}
+	g1, ok := set.dir.Move(cl.id, cl.gen, home, other)
+	if !ok {
+		t.Fatal("first directory move refused")
+	}
+	if !set.handoff[home][other].Push(Handoff{PCB: pcb, ID: cl.id, Gen: g1}) {
+		t.Fatal("handoff ring refused the push")
+	}
+	g2, ok := set.dir.Move(cl.id, g1, other, home)
+	if !ok {
+		t.Fatal("overtaking directory move refused")
+	}
+
+	before := set.StaleHandoffs
+	if n := set.adoptPending(other); n != 0 {
+		t.Fatalf("adopted %d stale handoffs", n)
+	}
+	if set.StaleHandoffs != before+1 {
+		t.Fatalf("StaleHandoffs = %d, want %d", set.StaleHandoffs, before+1)
+	}
+
+	// The overtaking mover owns the PCB: land it home, restore the
+	// claim, and prove the connection survived the whole episode.
+	if err := set.Shard(home).Adopt(pcb); err != nil {
+		t.Fatal(err)
+	}
+	set.claimMu.Lock()
+	set.claims[k] = claim{id: cl.id, gen: g2, owner: home}
+	set.claimMu.Unlock()
+
+	if err := conn.Send([]byte("zz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Pump(client, set); err != nil {
+		t.Fatal(err)
+	}
+	if got := conn.Receive(); !bytes.Equal(got, []byte("ok<zz>")) {
+		t.Fatalf("post-episode response %q", got)
+	}
+}
+
+// TestDirectoryFullStillServes pins the directory-full contract: a
+// connection accepted with no free directory slot still works — it is
+// pinned where it landed, lookups succeed, and the forgone migration
+// capability is what gets counted — and a later rekey must route its
+// frames to the pin, not to wherever the new steering function points.
+func TestDirectoryFullStillServes(t *testing.T) {
+	const (
+		port    = uint16(1521)
+		clients = 6
+		dirCap  = 2
+	)
+	set, err := NewStackSet(wire.MakeAddr(10, 0, 0, 1), Config{
+		Shards: 2,
+		NewDemuxer: func(int) core.Demuxer {
+			return core.NewSequentHash(0, hashfn.Multiplicative{})
+		},
+		Seed:         3,
+		DirectoryCap: dirCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	set.SetTelemetry(reg)
+	if err := set.Listen(port, func(_ *engine.Conn, p []byte) []byte {
+		return append(append([]byte("ok<"), p...), '>')
+	}); err != nil {
+		t.Fatal(err)
+	}
+	set.SetBacklog(clients)
+
+	client := engine.NewStack(wire.MakeAddr(10, 0, 0, 2), core.NewMapDemux(), 8)
+	conns := make([]*engine.Conn, clients)
+	for i := range conns {
+		c, err := client.ConnectEphemeral(set.Addr(), port, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	if _, err := engine.Pump(client, set); err != nil {
+		t.Fatal(err)
+	}
+
+	exchange := func(round byte) {
+		t.Helper()
+		for i, c := range conns {
+			if c.State() != core.StateEstablished {
+				t.Fatalf("conn %d not established: %v", i, c.State())
+			}
+			if err := c.Send([]byte{round, byte('a' + i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := engine.Pump(client, set); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range conns {
+			want := []byte{'o', 'k', '<', round, byte('a' + i), '>'}
+			if got := c.Receive(); !bytes.Equal(got, want) {
+				t.Fatalf("conn %d round %c: got %q want %q", i, round, got, want)
+			}
+		}
+	}
+	exchange('1')
+
+	wantPinned := uint64(clients - dirCap)
+	if set.DirExhausted != wantPinned {
+		t.Fatalf("DirExhausted = %d, want %d", set.DirExhausted, wantPinned)
+	}
+	if set.ShedDirectoryFull != wantPinned {
+		t.Fatalf("ShedDirectoryFull = %d, want %d", set.ShedDirectoryFull, wantPinned)
+	}
+	pinned := 0
+	set.claimMu.Lock()
+	for _, cl := range set.claims {
+		if cl.id < 0 {
+			pinned++
+		}
+	}
+	set.claimMu.Unlock()
+	if uint64(pinned) != wantPinned {
+		t.Fatalf("%d slotless claims, want %d", pinned, wantPinned)
+	}
+
+	// The condition must be visible on telemetry, not just in test-only
+	// counters: both the dedicated counter and the shed-reason family.
+	snap := reg.Snapshot()
+	counters := make(map[string]uint64)
+	for _, c := range snap.Counters {
+		id := c.Name
+		for _, l := range c.Labels {
+			id += "{" + l.Key + "=" + l.Value + "}"
+		}
+		counters[id] = c.Value
+	}
+	if counters["shard_directory_full_total"] != wantPinned {
+		t.Fatalf("shard_directory_full_total = %d, want %d", counters["shard_directory_full_total"], wantPinned)
+	}
+	if counters["shard_shed_total{reason=directory-full}"] != wantPinned {
+		t.Fatalf("shard_shed_total{reason=directory-full} = %d, want %d",
+			counters["shard_shed_total{reason=directory-full}"], wantPinned)
+	}
+
+	// Rekey swaps the steering function. Pinned connections cannot
+	// migrate, so for them the new function may now point at the wrong
+	// shard — the claims table must keep routing their frames home.
+	set.Rekey()
+	exchange('2')
+	if acc := set.Accounting(); !acc.Balanced() {
+		t.Fatalf("unaccounted packet losses: %+v", acc)
+	}
+}

@@ -1,0 +1,469 @@
+// Shard failure domains: the fault-injection surface, the health
+// watchdog, and the live drain that fails a sick shard over to the
+// survivors.
+//
+// The paper's multi-queue cost model silently assumes every queue keeps
+// consuming. This file is what happens when one stops. Four faults
+// cover the ways a real per-CPU queue dies or limps:
+//
+//   - Crash: the shard's event loop is gone. Its virtual clock freezes
+//     (StackSet.Tick skips it), so the heartbeat armed on its own timer
+//     wheel stops beating — which is exactly how the watchdog tells a
+//     crashed shard from an idle one.
+//   - Stall: the clock still advances (heartbeats keep coming) but the
+//     consumer never pops its inbox; queued frames age in place. The
+//     watchdog catches this through the progress counter instead.
+//   - Wedge: the shard's rings refuse pushes (a producer-side failure).
+//     The shard itself is alive, so this degrades — sheds, counted —
+//     rather than triggering a drain.
+//   - Slow: the consumer pops at most MaxConsume frames per delivery;
+//     backlog grows and the backpressure machinery starts shedding.
+//
+// Detection drives a live drain (FailOver): every PCB on the sick shard
+// is walked through the generation-checked directory and Extract/Adopt
+// into a survivor chosen by folding the steering hash over the live
+// shards — the same fold Deliver's re-route applies, so both sides of
+// the failover agree on each connection's rescue target without any
+// shared "who moved where" table beyond the claims map. Frames still
+// queued on the dead inbox are salvaged FIFO and re-delivered after the
+// PCBs land. Connections are never lost by the control plane: every
+// fallback (stale claim, wedged handoff ring) ends in a direct Adopt.
+//
+// Degradation is a ladder, not a cliff: full edges shed the single
+// frame or forgo the single migration at hand, count it against exactly
+// one reason (inbox-full, handoff-full, directory-full, backlog-full),
+// and mark the shard Degraded until a check passes with no new sheds.
+// The Accounting ledger proves conservation: every frame handed to
+// Deliver is absorbed, consumed, shed-with-reason, or still queued.
+package shard
+
+import (
+	"fmt"
+
+	"tcpdemux/internal/hashfn"
+	"tcpdemux/internal/wire"
+)
+
+// HealthState is the watchdog's verdict on one shard. States only ever
+// move up the ladder except Degraded, which clears when a health check
+// passes without new sheds; Drained is terminal for the set's lifetime.
+type HealthState int
+
+const (
+	// HealthHealthy: beating, consuming, not shedding.
+	HealthHealthy HealthState = iota
+	// HealthDegraded: alive but shedding — some full edge refused work
+	// since the last check.
+	HealthDegraded
+	// HealthSick: the watchdog detected a frozen clock or a consumer
+	// that stopped making progress; a drain is due.
+	HealthSick
+	// HealthDrained: the shard's connections were failed over to the
+	// survivors; the shard is decommissioned.
+	HealthDrained
+)
+
+// String names the state for reports.
+func (h HealthState) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthSick:
+		return "sick"
+	case HealthDrained:
+		return "drained"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// FaultVerdict is what a fault function decrees for one shard at one
+// instant. The zero verdict is "no fault".
+type FaultVerdict struct {
+	// Crash freezes the shard: no Tick (so its timer wheel and heartbeat
+	// stop), no consumption. Frames steered at it queue until the inbox
+	// fills, then shed.
+	Crash bool
+	// Stall keeps the clock running but stops the consumer: heartbeats
+	// continue, the inbox backlog ages.
+	Stall bool
+	// Wedge makes the shard's rings (inbox and inbound handoffs) refuse
+	// pushes.
+	Wedge bool
+	// MaxConsume > 0 caps how many frames the shard pops per delivery —
+	// a slow consumer rather than a dead one.
+	MaxConsume int
+}
+
+// FaultFunc is the injection point: consulted per shard per event under
+// virtual time. internal/chaos builds these from scheduled rules; tests
+// may use literal closures. Evaluated from the set's single control
+// goroutine only.
+type FaultFunc func(shard int, now float64) FaultVerdict
+
+// Watchdog defaults, overridable via Config. Values are virtual seconds.
+const (
+	// DefaultHeartbeatInterval is how often each shard's wheel proves the
+	// clock is advancing.
+	DefaultHeartbeatInterval = 0.05
+	// DefaultStallThreshold is how stale a heartbeat (crash) or a
+	// progress mark (stall) may go before the shard is declared sick. It
+	// is sized like an RTO: long enough that an idle-but-healthy shard
+	// never trips it, short enough that connections ride out the outage
+	// on their retransmission timers.
+	DefaultStallThreshold = 0.5
+	// DefaultHandoffRetries bounds how many times a full handoff or
+	// inbox ring is re-offered (with forced draining in between) before
+	// the work is shed or downgraded to a direct adopt.
+	DefaultHandoffRetries = 3
+)
+
+// shardHealth is the watchdog's per-shard ledger. All fields are
+// touched only from the set's single control goroutine (the Deliver /
+// Tick / control-plane caller); the heartbeat callback also runs there,
+// inside the shard's own Tick.
+type shardHealth struct {
+	state HealthState
+	// hbTimer records that the real heartbeat is armed on the shard's
+	// wheel; lastBeat is the newest beat (baselined to the first time
+	// the watchdog saw the shard, so a set whose clock starts late does
+	// not instantly condemn every shard).
+	hbTimer  bool
+	lastBeat float64
+	// consumed counts frames this shard popped and delivered; the
+	// watchdog compares it against progressMark to detect a consumer
+	// that stopped while its inbox is non-empty.
+	consumed     uint64
+	progressMark uint64
+	lastProgress float64
+	// sheds vs shedMark drives the Degraded transition; backlogMark is
+	// the high-water fold of the shard's engine-level backlog drops into
+	// the set's shed ledger.
+	sheds       uint64
+	shedMark    uint64
+	backlogMark uint64
+	// detectedAt is when the shard went sick (for recovery-latency
+	// reporting).
+	detectedAt float64
+}
+
+// SetFaultFunc installs (or clears, with nil) the fault injection
+// function. Like Rekey, a control-plane call: not concurrent with
+// Deliver.
+func (set *StackSet) SetFaultFunc(f FaultFunc) { set.fault = f }
+
+// Health returns shard i's current health state.
+func (set *StackSet) Health(i int) HealthState { return set.health[i].state }
+
+// Drained reports whether shard i has been decommissioned by a drain.
+func (set *StackSet) Drained(i int) bool { return set.health[i].state == HealthDrained }
+
+// verdict evaluates the fault function for shard i at the set's current
+// virtual time.
+func (set *StackSet) verdict(i int) FaultVerdict {
+	if set.fault == nil {
+		return FaultVerdict{}
+	}
+	return set.fault(i, set.now)
+}
+
+// alive reports whether shard i can still accept work: sick and drained
+// shards cannot.
+func (set *StackSet) alive(i int) bool {
+	return set.health[i].state != HealthSick && set.health[i].state != HealthDrained
+}
+
+// liveCount counts shards that can still accept work.
+func (set *StackSet) liveCount() int {
+	n := 0
+	for i := range set.health {
+		if set.alive(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func (set *StackSet) heartbeatInterval() float64 {
+	if set.hbInterval > 0 {
+		return set.hbInterval
+	}
+	return DefaultHeartbeatInterval
+}
+
+func (set *StackSet) stallThreshold() float64 {
+	if set.stallThresh > 0 {
+		return set.stallThresh
+	}
+	return DefaultStallThreshold
+}
+
+func (set *StackSet) handoffRetries() int {
+	if set.retryBudget > 0 {
+		return set.retryBudget
+	}
+	return DefaultHandoffRetries
+}
+
+// ensureHeartbeat arms shard i's liveness beat on its own timer wheel.
+// The beat lives on the shard's wheel precisely so that a frozen clock
+// stops beating; the callback runs inside the shard's Tick and only
+// stamps the ledger.
+func (set *StackSet) ensureHeartbeat(i int, now float64) {
+	h := &set.health[i]
+	if h.hbTimer {
+		return
+	}
+	h.hbTimer = true
+	if now > h.lastBeat {
+		h.lastBeat = now
+	}
+	set.shards[i].Heartbeat(set.heartbeatInterval(), func(at float64) {
+		h.lastBeat = at
+	})
+}
+
+// rescueShard picks the surviving shard for a tuple by folding the
+// steering hash over the live shards. Deliver's re-route and FailOver's
+// drain both use this fold, so a retransmitted frame arriving after the
+// drain lands exactly where the drain put its connection — no shared
+// rendezvous state beyond the health ledger itself.
+func (set *StackSet) rescueShard(tup wire.Tuple) (int, bool) {
+	live := make([]int, 0, len(set.shards))
+	for i := range set.shards {
+		if set.alive(i) {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return 0, false
+	}
+	return live[hashfn.ChainIndex(set.steer.Load().key.Hash(tup), len(live))], true
+}
+
+// shedInboxFrame records one frame lost at shard idx's inbox edge.
+func (set *StackSet) shedInboxFrame(idx int) {
+	set.ShedInboxFull++
+	set.m.ShedInboxFull.Inc()
+	set.health[idx].sheds++
+}
+
+// checkHealth is the watchdog pass, run at the end of every Tick: fold
+// engine-level backlog drops into the shed ledger, detect frozen clocks
+// (stale heartbeat) and stuck consumers (non-empty inbox with no
+// consumption progress), drain what is sick, and walk the Degraded
+// transition off shards that stopped shedding.
+func (set *StackSet) checkHealth(now float64) {
+	for i := range set.shards {
+		h := &set.health[i]
+		// The engine already counted these drops by reason; mirroring the
+		// delta into shard_shed_total{reason="backlog-full"} puts the whole
+		// degradation ladder on one metric family.
+		st := set.shards[i].Stats()
+		if d := st.DroppedBacklogFull; d > h.backlogMark {
+			delta := d - h.backlogMark
+			h.backlogMark = d
+			set.ShedBacklogFull += delta
+			set.m.ShedBacklogFull.Add(delta)
+			h.sheds += delta
+		}
+		if h.state == HealthDrained {
+			continue
+		}
+		sick := false
+		if h.lastBeat > 0 && now-h.lastBeat > set.stallThreshold() {
+			sick = true // clock frozen: crash
+		}
+		if set.inbox[i].Len() > 0 && h.consumed == h.progressMark &&
+			now-h.lastProgress > set.stallThreshold() {
+			sick = true // clock beats, consumer does not
+		}
+		if h.consumed != h.progressMark || set.inbox[i].Len() == 0 {
+			h.progressMark = h.consumed
+			h.lastProgress = now
+		}
+		if sick {
+			set.FailOver(i)
+			continue
+		}
+		if h.sheds > h.shedMark {
+			h.shedMark = h.sheds
+			if h.state != HealthDegraded {
+				h.state = HealthDegraded
+				set.m.SetHealth(i, float64(HealthDegraded))
+			}
+		} else if h.state == HealthDegraded {
+			h.state = HealthHealthy
+			set.m.SetHealth(i, float64(HealthHealthy))
+		}
+	}
+	degraded := 0
+	for i := range set.health {
+		if set.health[i].state != HealthHealthy {
+			degraded++
+		}
+	}
+	set.m.Degraded.Set(float64(degraded))
+}
+
+// FailOver drains every connection off shard sick into the survivors:
+// salvage the frames still queued on its inbox, walk its PCBs in
+// netstat order, authorize each move through the generation-checked
+// directory, hand the PCB across the SPSC handoff ring (bounded retry,
+// draining the destination between attempts; a ring that stays wedged
+// downgrades to a direct Adopt — the handoff transport is shed, never
+// the connection), then re-deliver the salvaged frames to the
+// connections' new homes. The watchdog calls this when a shard goes
+// sick; an operator may call it directly to decommission a shard.
+//
+// Like Rekey, FailOver is a control-plane quiesce point: not concurrent
+// with Deliver. It returns the number of connections rehomed. A set
+// with no surviving shard stays Sick — there is nowhere to drain to.
+func (set *StackSet) FailOver(sick int) int {
+	h := &set.health[sick]
+	if h.state == HealthDrained {
+		return 0
+	}
+	if h.state != HealthSick {
+		h.state = HealthSick
+		h.detectedAt = set.now
+		set.m.SetHealth(sick, float64(HealthSick))
+	}
+	if set.liveCount() == 0 {
+		return 0
+	}
+	set.Drains++
+	set.m.Drains.Inc()
+
+	// Salvage the queued frames first, FIFO: they re-deliver only after
+	// their connections land on the survivors.
+	var salvage [][]byte
+	for {
+		f, ok := set.inbox[sick].Pop()
+		if !ok {
+			break
+		}
+		salvage = append(salvage, f)
+	}
+
+	moved := 0
+	for _, ci := range set.shards[sick].Netstat() {
+		if ci.Key.IsWildcard() {
+			continue // the listener stays; steering routes around the corpse
+		}
+		k := ci.Key
+		to, ok := set.rescueShard(k.Tuple())
+		if !ok {
+			break
+		}
+		set.claimMu.Lock()
+		cl, claimed := set.claims[k]
+		set.claimMu.Unlock()
+		pcb, ok := set.shards[sick].Extract(k)
+		if !ok {
+			continue // raced a timer teardown inside Extract's walk
+		}
+		if !claimed || cl.id < 0 {
+			// No directory slot: a handshake still in SYN_RCVD (claims are
+			// stamped at accept) or a connection accepted while the
+			// directory was full. Rehome it directly; frames find it via
+			// the claims entry, or — pre-accept — via the rescue fold.
+			_ = set.shards[to].Adopt(pcb)
+			set.claimMu.Lock()
+			if claimed {
+				set.claims[k] = claim{id: -1, owner: to}
+			}
+			set.claimMu.Unlock()
+			moved++
+			continue
+		}
+		newGen, ok := set.dir.Move(cl.id, cl.gen, cl.owner, to)
+		if !ok {
+			// Defensive: the claim was overtaken. Never lose the
+			// connection — rehome it without a slot.
+			set.StaleHandoffs++
+			set.m.StaleHandoffs.Inc()
+			_ = set.shards[to].Adopt(pcb)
+			set.claimMu.Lock()
+			set.claims[k] = claim{id: -1, owner: to}
+			set.claimMu.Unlock()
+			moved++
+			continue
+		}
+		pushed := false
+		for attempt := 0; attempt < set.handoffRetries(); attempt++ {
+			if set.pushHandoff(sick, to, Handoff{PCB: pcb, ID: cl.id, Gen: newGen}) {
+				pushed = true
+				break
+			}
+			set.HandoffFullEvents++
+			set.m.HandoffFull.Inc()
+			set.adoptPending(to) // back off by making room, not by waiting
+		}
+		if !pushed {
+			set.ShedHandoffFull++
+			set.m.ShedHandoffFull.Inc()
+			_ = set.shards[to].Adopt(pcb)
+		}
+		set.claimMu.Lock()
+		set.claims[k] = claim{id: cl.id, gen: newGen, owner: to}
+		set.claimMu.Unlock()
+		moved++
+	}
+	for to := range set.shards {
+		if set.alive(to) {
+			set.adoptPending(to)
+		}
+	}
+	h.state = HealthDrained
+	set.m.SetHealth(sick, float64(HealthDrained))
+	set.DrainedConns += uint64(moved)
+	set.m.DrainedConns.Add(uint64(moved))
+
+	for _, f := range salvage {
+		set.SalvagedFrames++
+		set.m.Salvaged.Inc()
+		set.redeliver(f)
+	}
+
+	set.LastDrainAt = set.now
+	set.LastDrainRecovery = set.now - h.lastProgress
+	set.m.DrainRecovery.Set(set.LastDrainRecovery)
+	return moved
+}
+
+// Accounting is the set-level conservation ledger. Every frame handed
+// to Deliver ends in exactly one bucket: absorbed (a fragment of a
+// still-incomplete datagram), consumed (popped from an inbox into a
+// shard's Stack, whose own per-reason counters take over from there),
+// shed (lost at a full or wedged inbox edge, attributed to a reason),
+// or still queued on an inbox ring.
+type Accounting struct {
+	FramesIn uint64
+	Absorbed uint64
+	Consumed uint64
+	Shed     uint64
+	Queued   uint64
+}
+
+// Balanced reports whether the ledger conserves frames — the "zero
+// unaccounted packet losses" acceptance check.
+func (a Accounting) Balanced() bool {
+	return a.FramesIn == a.Absorbed+a.Consumed+a.Shed+a.Queued
+}
+
+// Accounting captures the conservation ledger. Control-plane: quiesced
+// with respect to Deliver, like Rekey.
+func (set *StackSet) Accounting() Accounting {
+	a := Accounting{
+		FramesIn: set.FramesIn,
+		Absorbed: set.Absorbed,
+		Shed:     set.ShedInboxFull,
+	}
+	for i := range set.shards {
+		a.Consumed += set.health[i].consumed
+		a.Queued += uint64(set.inbox[i].Len())
+	}
+	return a
+}

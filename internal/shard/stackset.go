@@ -13,6 +13,7 @@ import (
 	"tcpdemux/internal/frag"
 	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/rng"
+	"tcpdemux/internal/telemetry"
 	"tcpdemux/internal/wire"
 )
 
@@ -39,12 +40,14 @@ type claim struct {
 // does not size it.
 const DefaultDirectoryCap = 1 << 16
 
-// inboxCap sizes each shard's frame inbox ring; handoffCap sizes each
-// ordered shard pair's migration ring. Both are drained synchronously in
-// this engine, so they only need to absorb one burst.
+// DefaultInboxCap sizes each shard's frame inbox ring and
+// DefaultHandoffCap each ordered shard pair's migration ring. Both are
+// drained synchronously in this engine, so they only need to absorb one
+// burst — plus, since the failure-domain work, the backlog of a shard
+// whose consumer died between watchdog checks.
 const (
-	inboxCap   = 256
-	handoffCap = 256
+	DefaultInboxCap   = 256
+	DefaultHandoffCap = 256
 )
 
 // Config parameterizes a StackSet.
@@ -60,6 +63,16 @@ type Config struct {
 	// DirectoryCap bounds concurrent connections across all shards
 	// (DefaultDirectoryCap if zero).
 	DirectoryCap int
+	// InboxCap and HandoffCap size the SPSC rings (defaults if zero);
+	// tests shrink them to exercise the full edges.
+	InboxCap   int
+	HandoffCap int
+	// HeartbeatInterval and StallThreshold tune the health watchdog;
+	// HandoffRetries bounds the full-ring retry loops (defaults if
+	// zero — see health.go).
+	HeartbeatInterval float64
+	StallThreshold    float64
+	HandoffRetries    int
 }
 
 // StackSet is the sharded multi-queue endpoint: one address, N
@@ -114,6 +127,18 @@ type StackSet struct {
 	reasm   *frag.Reassembler
 	frames  uint64
 
+	// fault is the injection surface and health the watchdog's per-shard
+	// ledger (health.go); now is the set's virtual clock, advanced by
+	// Tick so Deliver can evaluate fault windows. m is the telemetry
+	// bundle, homed on a private registry until SetTelemetry re-homes it.
+	fault       FaultFunc
+	health      []shardHealth
+	now         float64
+	m           *telemetry.ShardSetMetrics
+	hbInterval  float64
+	stallThresh float64
+	retryBudget int
+
 	// Steered counts frames dispatched per shard; the remaining counters
 	// describe the migration machinery. Steered is written only on the
 	// Deliver path (the deliver role); external readers consume it after
@@ -124,6 +149,25 @@ type StackSet struct {
 	Migrations    uint64
 	StaleHandoffs uint64
 	DirExhausted  uint64
+
+	// Conservation ledger (see Accounting in health.go) and the
+	// failure-domain counters the drain and degradation paths maintain.
+	// LastDrainAt / LastDrainRecovery describe the most recent drain in
+	// virtual seconds (recovery = completion minus the sick shard's last
+	// observed progress).
+	FramesIn          uint64
+	Absorbed          uint64
+	InboxFullEvents   uint64
+	HandoffFullEvents uint64
+	ShedInboxFull     uint64
+	ShedHandoffFull   uint64
+	ShedDirectoryFull uint64
+	ShedBacklogFull   uint64
+	Drains            uint64
+	DrainedConns      uint64
+	SalvagedFrames    uint64
+	LastDrainAt       float64
+	LastDrainRecovery float64
 }
 
 // NewStackSet builds a sharded endpoint at addr.
@@ -138,13 +182,26 @@ func NewStackSet(addr wire.Addr, cfg Config) (*StackSet, error) {
 	if dirCap <= 0 {
 		dirCap = DefaultDirectoryCap
 	}
+	inboxCap := cfg.InboxCap
+	if inboxCap <= 0 {
+		inboxCap = DefaultInboxCap
+	}
+	handoffCap := cfg.HandoffCap
+	if handoffCap <= 0 {
+		handoffCap = DefaultHandoffCap
+	}
 	set := &StackSet{
-		addr:    addr,
-		src:     rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
-		dir:     NewDirectory(dirCap),
-		claims:  make(map[core.Key]claim),
-		reasm:   frag.New(64),
-		Steered: make([]uint64, cfg.Shards),
+		addr:        addr,
+		src:         rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		dir:         NewDirectory(dirCap),
+		claims:      make(map[core.Key]claim),
+		reasm:       frag.New(64),
+		Steered:     make([]uint64, cfg.Shards),
+		health:      make([]shardHealth, cfg.Shards),
+		m:           telemetry.NewShardSetMetrics(telemetry.NewRegistry(), cfg.Shards),
+		hbInterval:  cfg.HeartbeatInterval,
+		stallThresh: cfg.StallThreshold,
+		retryBudget: cfg.HandoffRetries,
 	}
 	st := NewSteering(cfg.Shards, hashfn.KeyedFromRNG(set.src))
 	set.steer.Store(&st)
@@ -167,16 +224,36 @@ func NewStackSet(addr wire.Addr, cfg Config) (*StackSet, error) {
 	return set, nil
 }
 
+// SetTelemetry re-homes the set's failure-domain metric bundle — and
+// every shard Stack's engine bundle — on reg, so one snapshot carries
+// the shed ledger, the health gauges, and the per-reason engine drops
+// together.
+func (set *StackSet) SetTelemetry(reg *telemetry.Registry) {
+	set.m = telemetry.NewShardSetMetrics(reg, len(set.shards))
+	for _, s := range set.shards {
+		s.SetTelemetry(reg)
+	}
+}
+
 // registerAccept records a freshly accepted connection's directory claim.
 // Called from the owning shard's OnAccept hook (shard lock held), so it
 // touches only the leaf claim lock.
 func (set *StackSet) registerAccept(shard int, c *engine.Conn) {
 	id, gen, ok := set.dir.Assign(shard)
 	if !ok {
-		// Directory full: the connection still works — it just cannot be
-		// migrated on a future rekey. Count it; the sweep in Rekey will
-		// not find a claim for it and will leave it homed where it is.
+		// Directory full: the connection still works — it is pinned to
+		// the shard that accepted it and cannot be migrated by a future
+		// rekey or drain. The slotless claim (id -1) records the home so
+		// frames still find the connection after the steering function
+		// moves on; what is shed here is the migration capability, and
+		// the ledger attributes it to directory-full.
 		set.DirExhausted++
+		set.m.DirectoryFull.Inc()
+		set.ShedDirectoryFull++
+		set.m.ShedDirectoryFull.Inc()
+		set.claimMu.Lock()
+		set.claims[c.Key()] = claim{id: -1, owner: shard}
+		set.claimMu.Unlock()
 		return
 	}
 	set.claimMu.Lock()
@@ -241,11 +318,13 @@ func (set *StackSet) LifecycleCounters() (retransmits, aborts, synExpired, timeW
 // its full tuple. Fragments carry no ports, so the set reassembles them
 // first (under its own small lock — fragmentation is the rare path) and
 // steers the rebuilt datagram; an undecodable frame goes to shard 0,
-// whose Stack will account the parse error.
-func (set *StackSet) steerFrame(frame []byte) (int, []byte) {
+// whose Stack will account the parse error. A keyed result also carries
+// the frame's connection key so the delivery path can consult the
+// claims table without re-parsing.
+func (set *StackSet) steerFrame(frame []byte) (int, core.Key, bool, []byte) {
 	tup, err := wire.ExtractTuple(frame)
 	if err == nil {
-		return set.steer.Load().Shard(tup), frame
+		return set.steer.Load().Shard(tup), core.KeyFromTuple(tup), true, frame
 	}
 	if errors.Is(err, wire.ErrFragmented) {
 		set.reasmMu.Lock()
@@ -259,47 +338,148 @@ func (set *StackSet) steerFrame(frame []byte) (int, []byte) {
 			// Malformed fragment or datagram still incomplete: shard 0
 			// reports the former; the latter is simply absorbed.
 			if ferr != nil {
-				return 0, frame
+				return 0, core.Key{}, false, frame
 			}
-			return -1, nil
+			return -1, core.Key{}, false, nil
 		}
 		if tup, err = wire.ExtractTuple(whole); err == nil {
-			return set.steer.Load().Shard(tup), whole
+			return set.steer.Load().Shard(tup), core.KeyFromTuple(tup), true, whole
 		}
-		return 0, whole
+		return 0, core.Key{}, false, whole
 	}
-	return 0, frame
+	return 0, core.Key{}, false, frame
 }
 
-// Deliver implements engine.LossyServer: steer, enqueue on the owning
-// shard's inbox ring, drain that ring into the shard's Stack. The
-// returned Result is the shard demuxer's lookup result for this frame
-// (zero for an absorbed fragment), so callers can account examination
-// costs exactly as with a single Stack.
-//
-//demux:owner(deliver)
-func (set *StackSet) Deliver(frame []byte) (core.Result, error) {
-	idx, whole := set.steerFrame(frame)
-	if idx < 0 {
-		return core.Result{}, nil // fragment absorbed, datagram incomplete
+// homeOf resolves a keyed frame's true home shard. The steering hash is
+// the fast default, but three control-plane events leave it pointing
+// away from a connection's actual owner: a rekey whose handoff ring was
+// full reverted the move, a directory-full accept pinned the connection
+// where its SYN landed, and a drain rehomed a dead shard's connections.
+// The claims table records the authoritative owner in all three cases.
+// A frame whose steered shard is dead and that has no claim — a fresh
+// SYN, or a handshake that was drained before it completed — re-steers
+// by the rescue fold, the same choice the drain made, so both sides of
+// the failover agree without extra rendezvous state.
+func (set *StackSet) homeOf(idx int, key core.Key) int {
+	set.claimMu.Lock()
+	cl, ok := set.claims[key]
+	set.claimMu.Unlock()
+	if ok {
+		return cl.owner
 	}
-	set.Steered[idx]++
-	if !set.inbox[idx].Push(whole) {
-		// The synchronous drain below empties the ring every call, so a
-		// full inbox means a concurrent driver outran the shard; deliver
-		// directly rather than drop — backpressure, not loss.
-		return set.shards[idx].Deliver(whole)
+	if !set.alive(idx) {
+		if to, ok := set.rescueShard(key.Tuple()); ok {
+			return to
+		}
 	}
+	return idx
+}
+
+// pushInbox enqueues a frame on shard idx's inbox through the
+// backpressure machinery: when the ring is full (or wedged by a fault),
+// the push is retried a bounded number of times with a growing forced
+// consumption between attempts — queued frames drain *before* the new
+// one enqueues, so delivery order is preserved; the old direct-delivery
+// fallback inverted it. A consumer that cannot make progress (crashed,
+// stalled, wedged) exhausts the budget and the frame is shed, counted
+// against inbox-full.
+func (set *StackSet) pushInbox(idx int, frame []byte, v FaultVerdict) bool {
+	if !v.Wedge && set.inbox[idx].Push(frame) {
+		return true
+	}
+	set.InboxFullEvents++
+	set.m.InboxFull.Inc()
+	if !v.Wedge && !v.Crash && !v.Stall {
+		force := 1
+		for attempt := 0; attempt < set.handoffRetries(); attempt++ {
+			set.consume(idx, force)
+			if set.inbox[idx].Push(frame) {
+				return true
+			}
+			force *= 2
+		}
+	}
+	set.shedInboxFrame(idx)
+	return false
+}
+
+// consume pops shard idx's inbox into its Stack, at most max frames
+// (max <= 0 means drain fully), returning the last delivery's result.
+func (set *StackSet) consume(idx int, max int) (core.Result, error) {
 	var last core.Result
 	var lastErr error
-	for {
+	for n := 0; max <= 0 || n < max; n++ {
 		f, ok := set.inbox[idx].Pop()
 		if !ok {
 			break
 		}
+		set.health[idx].consumed++
 		last, lastErr = set.shards[idx].Deliver(f)
 	}
 	return last, lastErr
+}
+
+// Deliver implements engine.LossyServer: steer, resolve the true home
+// (claims table, then the rescue fold when the steered shard is dead),
+// enqueue on the owning shard's inbox ring under backpressure, and
+// drain that ring into the shard's Stack as the active fault verdict
+// allows. The returned Result is the shard demuxer's lookup result for
+// this frame (zero for an absorbed fragment or a frame left queued on a
+// faulted shard), so callers can account examination costs exactly as
+// with a single Stack.
+//
+//demux:owner(deliver)
+func (set *StackSet) Deliver(frame []byte) (core.Result, error) {
+	set.FramesIn++
+	idx, key, keyed, whole := set.steerFrame(frame)
+	if idx < 0 {
+		set.Absorbed++
+		return core.Result{}, nil // fragment absorbed, datagram incomplete
+	}
+	if keyed {
+		idx = set.homeOf(idx, key)
+	}
+	set.Steered[idx]++
+	if !set.alive(idx) {
+		// A dead shard with no rescue: late frames for connections that
+		// closed before the drain (their stale claim still names the
+		// corpse), or a set with no survivors. Shed, attributed.
+		set.shedInboxFrame(idx)
+		return core.Result{}, nil
+	}
+	v := set.verdict(idx)
+	if !set.pushInbox(idx, whole, v) {
+		return core.Result{}, nil
+	}
+	if v.Crash || v.Stall {
+		return core.Result{}, nil // queued; the consumer is not running
+	}
+	return set.consume(idx, v.MaxConsume)
+}
+
+// redeliver re-injects a frame salvaged from a drained shard's inbox:
+// identical to Deliver except the frame was already counted into
+// FramesIn (and Steered) when it first arrived.
+func (set *StackSet) redeliver(frame []byte) {
+	idx, key, keyed, whole := set.steerFrame(frame)
+	if idx < 0 {
+		set.Absorbed++
+		return
+	}
+	if keyed {
+		idx = set.homeOf(idx, key)
+	}
+	if !set.alive(idx) {
+		set.shedInboxFrame(idx)
+		return
+	}
+	v := set.verdict(idx)
+	if !set.pushInbox(idx, whole, v) {
+		return
+	}
+	if !v.Crash && !v.Stall {
+		set.consume(idx, v.MaxConsume)
+	}
 }
 
 // Drain implements engine.LossyServer, concatenating every shard's
@@ -313,12 +493,36 @@ func (set *StackSet) Drain() [][]byte {
 	return out
 }
 
-// Tick implements engine.LossyServer: every shard's virtual clock
-// advances together.
+// Tick implements engine.LossyServer: every live shard's virtual clock
+// advances together, each with its liveness heartbeat armed on its own
+// wheel; a crashed shard's clock freezes (that is what the heartbeat
+// detects) and a drained shard is decommissioned. After the clocks
+// advance, any backlog a recovered or slow consumer left behind is
+// drained, and the watchdog pass runs.
 func (set *StackSet) Tick(now float64) {
-	for _, s := range set.shards {
+	set.now = now
+	for i, s := range set.shards {
+		h := &set.health[i]
+		if h.state == HealthDrained {
+			continue
+		}
+		v := set.verdict(i)
+		if v.Crash {
+			// Frozen clock: no Tick, so no heartbeat. Baseline the beat at
+			// first sighting so staleness is measured from here, not from
+			// the epoch.
+			if h.lastBeat == 0 {
+				h.lastBeat = now
+			}
+			continue
+		}
+		set.ensureHeartbeat(i, now)
 		s.Tick(now)
+		if !v.Stall {
+			set.consume(i, v.MaxConsume)
+		}
 	}
+	set.checkHealth(now)
 }
 
 // TimeWaitCount sums the shards' TIME_WAIT populations.
@@ -375,11 +579,16 @@ func (set *StackSet) Rekey() int {
 	set.claimMu.Lock()
 	for k, cl := range set.claims { //demux:orderinvariant releases and the collected move set are per-key independent; movers are sorted below
 		if !live[k] {
-			set.dir.Release(cl.id, cl.gen, cl.owner)
+			if cl.id >= 0 {
+				set.dir.Release(cl.id, cl.gen, cl.owner)
+			}
 			delete(set.claims, k)
 			continue
 		}
-		if to := newSteer.Shard(k.Tuple()); to != cl.owner {
+		if cl.id < 0 {
+			continue // directory-full pin: works where it is, cannot migrate
+		}
+		if to := newSteer.Shard(k.Tuple()); to != cl.owner && set.alive(to) {
 			moves = append(moves, move{k, cl})
 		}
 	}
@@ -410,8 +619,25 @@ func (set *StackSet) Rekey() int {
 			_ = set.shards[cl.owner].Adopt(pcb)
 			continue
 		}
-		if !set.handoff[cl.owner][to].Push(Handoff{PCB: pcb, ID: cl.id, Gen: newGen}) {
-			// Ring full: revert the move and keep the connection home.
+		// Bounded handoff retry: a full ring is drained into its target
+		// between attempts (backoff by making room — virtual time only
+		// advances in Tick). A ring that stays refused (wedged by a
+		// fault, or the target cannot absorb) reverts the move: the
+		// connection keeps working on its home shard and the forgone
+		// migration is shed, attributed to handoff-full.
+		pushed := false
+		for attempt := 0; attempt < set.handoffRetries(); attempt++ {
+			if set.pushHandoff(cl.owner, to, Handoff{PCB: pcb, ID: cl.id, Gen: newGen}) {
+				pushed = true
+				break
+			}
+			set.HandoffFullEvents++
+			set.m.HandoffFull.Inc()
+			migrated += set.adoptPending(to)
+		}
+		if !pushed {
+			set.ShedHandoffFull++
+			set.m.ShedHandoffFull.Inc()
 			if g, ok := set.dir.Move(cl.id, newGen, to, cl.owner); ok {
 				newGen = g
 			}
@@ -427,13 +653,25 @@ func (set *StackSet) Rekey() int {
 	}
 	set.steer.Store(&newSteer)
 
-	// Each shard drains its incoming handoff rings and adopts what the
-	// directory still says is its own.
+	// Each live shard drains its incoming handoff rings and adopts what
+	// the directory still says is its own.
 	for to := range set.shards {
-		migrated += set.adoptPending(to)
+		if set.alive(to) {
+			migrated += set.adoptPending(to)
+		}
 	}
 	set.Migrations += uint64(migrated)
 	return migrated
+}
+
+// pushHandoff offers a migrating connection to the `from`->`to` handoff
+// ring, honoring the destination's fault verdict: a wedged shard's
+// rings refuse pushes just like its inbox does.
+func (set *StackSet) pushHandoff(from, to int, h Handoff) bool {
+	if set.verdict(to).Wedge {
+		return false
+	}
+	return set.handoff[from][to].Push(h)
 }
 
 // keyLess is a total order over connection keys (local endpoint, then

@@ -193,3 +193,68 @@ func TestOverloadMetricsChainSkew(t *testing.T) {
 	var nilM *OverloadMetrics
 	nilM.ObserveChains([]int64{1}) // nil bundle is a no-op, not a panic
 }
+
+func TestShardSetMetricsRegistration(t *testing.T) {
+	r := NewRegistry()
+	m := NewShardSetMetrics(r, 2)
+	m.InboxFull.Inc()
+	m.ShedHandoffFull.Add(3)
+	m.SetHealth(1, 3)
+	m.SetHealth(-1, 1) // out of range: no-op, not a panic
+	m.SetHealth(5, 1)
+	m.Degraded.Set(2)
+
+	snap := r.Snapshot()
+	counters := make(map[string]uint64)
+	for _, c := range snap.Counters {
+		id := c.Name
+		for _, l := range c.Labels {
+			id += "{" + l.Key + "=" + l.Value + "}"
+		}
+		counters[id] = c.Value
+	}
+	for id, want := range map[string]uint64{
+		"shard_inbox_full_total":                  1,
+		"shard_handoff_full_total":                0,
+		"shard_directory_full_total":              0,
+		"shard_shed_total{reason=inbox-full}":     0,
+		"shard_shed_total{reason=handoff-full}":   3,
+		"shard_shed_total{reason=directory-full}": 0,
+		"shard_shed_total{reason=backlog-full}":   0,
+		"shard_drains_total":                      0,
+		"shard_drained_connections_total":         0,
+		"shard_salvaged_frames_total":             0,
+		"shard_stale_handoffs_total":              0,
+	} {
+		got, ok := counters[id]
+		if !ok {
+			t.Fatalf("counter %s not registered; snapshot has %v", id, counters)
+		}
+		if got != want {
+			t.Fatalf("counter %s = %d, want %d", id, got, want)
+		}
+	}
+
+	gauges := make(map[string]float64)
+	for _, g := range snap.Gauges {
+		id := g.Name
+		for _, l := range g.Labels {
+			id += "{" + l.Key + "=" + l.Value + "}"
+		}
+		gauges[id] = g.Value
+	}
+	for id, want := range map[string]float64{
+		"shard_health_state{shard=0}":  0,
+		"shard_health_state{shard=1}":  3,
+		"shard_degraded_shards":        2,
+		"shard_drain_recovery_seconds": 0,
+	} {
+		got, ok := gauges[id]
+		if !ok {
+			t.Fatalf("gauge %s not registered; snapshot has %v", id, gauges)
+		}
+		if got != want {
+			t.Fatalf("gauge %s = %g, want %g", id, got, want)
+		}
+	}
+}
