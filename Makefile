@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint lint-fixtures test race chaos shard failover bench bench-json bench-json-adversarial bench-json-cache bench-json-shard bench-json-failover bench-gate fuzz figures clean
+.PHONY: all build vet lint lint-fixtures test race chaos shard failover live demuxd demuxload bench bench-json bench-json-adversarial bench-json-cache bench-json-shard bench-json-failover bench-gate fuzz figures clean
 
 all: build vet lint test
 
@@ -72,6 +72,22 @@ failover:
 	$(GO) test -race -count=1 -run 'Failover|FailOver|Wedge|Stall|Backpressure|StaleGeneration|DirectoryFull|ShardSetMetrics' ./internal/shard ./internal/telemetry
 	$(GO) test -race -count=1 -run 'TestShard' ./internal/chaos
 	$(GO) test -race -count=1 -run 'TestRunFailover' ./cmd/demuxsim ./cmd/benchjson
+
+# live is the real-socket frontend gate: the in-process loopback
+# integration suite (demuxd's server core + demuxload's generator) under
+# the race detector — ≥1000 concurrent kernel TCP connections with
+# byte-verified TPC/A responses, graceful-shutdown draining with a
+# balanced connection conservation ledger, goroutine-leak checks, and
+# the live metrics endpoint.
+live:
+	$(GO) test -race -count=1 -run 'TestLive' ./internal/server ./cmd/demuxd
+
+# demuxd / demuxload build the server and load-generator binaries.
+demuxd:
+	$(GO) build -o bin/demuxd ./cmd/demuxd
+
+demuxload:
+	$(GO) build -o bin/demuxload ./cmd/demuxload
 
 bench:
 	$(GO) test -bench=. -benchmem .

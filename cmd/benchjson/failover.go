@@ -6,8 +6,8 @@ import (
 
 	"tcpdemux/internal/chaos"
 	"tcpdemux/internal/core"
+	"tcpdemux/internal/discipline"
 	"tcpdemux/internal/engine"
-	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/shard"
 	"tcpdemux/internal/wire"
 )
@@ -82,12 +82,14 @@ type failoverDrive struct {
 func driveFailover(shards, clients, txns, chains int, seed uint64,
 	fault *chaos.ShardRule) (*failoverDrive, error) {
 	const port = uint16(1521)
+	sel, err := discipline.Select("sequent", "multiplicative", chains)
+	if err != nil {
+		return nil, err
+	}
 	set, err := shard.NewStackSet(wire.MakeAddr(10, 0, 0, 1), shard.Config{
-		Shards: shards,
-		NewDemuxer: func(int) core.Demuxer {
-			return core.NewSequentHash(chains, hashfn.Multiplicative{})
-		},
-		Seed: seed,
+		Shards:     shards,
+		NewDemuxer: sel.PerShard(),
+		Seed:       seed,
 	})
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"tcpdemux/internal/core"
+	"tcpdemux/internal/discipline"
 	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/parallel"
 	"tcpdemux/internal/rng"
@@ -13,9 +14,10 @@ import (
 	"tcpdemux/internal/tpca"
 )
 
-// shardResult is one shard-count/mode configuration's measured rounds.
-// Discipline carries the shard count ("sequent-4q") so the -compare
-// gate's discipline/mode pairing works unchanged on shard reports.
+// shardResult is one discipline/shard-count/mode configuration's
+// measured rounds. Discipline carries the shard count ("sequent-4q",
+// "flat-hopscotch-4q") so the -compare gate's discipline/mode pairing
+// works unchanged on shard reports.
 type shardResult struct {
 	Discipline   string  `json:"discipline"`
 	Shards       int     `json:"shards"`
@@ -34,6 +36,11 @@ type shardSummary struct {
 	ExaminedSingle  float64 `json:"examinedPerLookupSingle"`
 	ExaminedQuad    float64 `json:"examinedPerLookupQuad"`
 	ExaminedRatio4x float64 `json:"examinedRatioQuadOverSingle"`
+
+	// FlatQuadOverSingle is the same 4-queue/1-queue rate ratio over the
+	// flat-hopscotch per-shard tables — partitioning composed with the
+	// cache-conscious layout.
+	FlatQuadOverSingle float64 `json:"quadOverSingleFlatHopscotch"`
 }
 
 // shardReport is the -workload shard JSON document (BENCH_shard.json).
@@ -68,10 +75,17 @@ func shardCounts(gomaxprocs int) []int {
 	return counts
 }
 
+// shardDisciplines is the per-shard table sweep: the chained Sequent
+// baseline the acceptance ratios are defined over, and the
+// cache-conscious flat-hopscotch table — partitioning (the paper's C(N)
+// effect) and cache-conscious layout compose, so the flat rows measure
+// both at once.
+var shardDisciplines = []string{"sequent", "flat-hopscotch"}
+
 // runShard measures the sharded multi-queue engine across the shard
 // sweep: the same TPC/A stream and connection population, RSS-steered
-// across N private Sequent tables, every round interleaved across
-// configurations per the file-header methodology.
+// across N private per-discipline tables, every round interleaved
+// across configurations per the file-header methodology.
 func runShard(opt options) (*shardReport, error) {
 	prev := runtime.GOMAXPROCS(opt.GoMaxProcs)
 	defer runtime.GOMAXPROCS(prev)
@@ -87,17 +101,38 @@ func runShard(opt options) (*shardReport, error) {
 	}
 	steerKey := hashfn.KeyedFromRNG(rng.New(opt.Seed ^ 0x5157_9e3779b97f4a))
 
+	sels := make(map[string]discipline.Selection, len(shardDisciplines))
+	for _, dn := range shardDisciplines {
+		sel, err := discipline.Select(dn, "multiplicative", opt.Chains)
+		if err != nil {
+			return nil, err
+		}
+		sels[dn] = sel
+	}
+
 	type shardConfig struct {
+		disc   string
 		shards int
 		mode   string
 		batch  int
 	}
 	var configs []shardConfig
-	for _, n := range shardCounts(opt.GoMaxProcs) {
-		configs = append(configs, shardConfig{n, "perpacket", 0})
-		if opt.Batch > 1 {
-			configs = append(configs, shardConfig{n, fmt.Sprintf("batch%d", opt.Batch), opt.Batch})
+	for _, dn := range shardDisciplines {
+		for _, n := range shardCounts(opt.GoMaxProcs) {
+			configs = append(configs, shardConfig{dn, n, "perpacket", 0})
+			if opt.Batch > 1 {
+				configs = append(configs, shardConfig{dn, n, fmt.Sprintf("batch%d", opt.Batch), opt.Batch})
+			}
 		}
+	}
+	// The sequent rows keep their original "shards%d/%s" telemetry and
+	// BestRate keys (the summary ratios and downstream tooling read
+	// them); the flat rows get discipline-prefixed keys.
+	label := func(c shardConfig) string {
+		if c.disc == "sequent" {
+			return fmt.Sprintf("shards%d/%s", c.shards, c.mode)
+		}
+		return fmt.Sprintf("%s/shards%d/%s", c.disc, c.shards, c.mode)
 	}
 
 	reg := telemetry.NewRegistry()
@@ -105,26 +140,23 @@ func runShard(opt options) (*shardReport, error) {
 	metrics := make([]*telemetry.DemuxMetrics, len(configs))
 	for i, c := range configs {
 		results[i] = shardResult{
-			Discipline: fmt.Sprintf("sequent-%dq", c.shards),
+			Discipline: fmt.Sprintf("%s-%dq", c.disc, c.shards),
 			Shards:     c.shards, Mode: c.mode,
 		}
-		metrics[i] = telemetry.NewDemuxMetrics(reg,
-			fmt.Sprintf("shards%d/%s", c.shards, c.mode))
+		metrics[i] = telemetry.NewDemuxMetrics(reg, label(c))
 	}
 	for r := 0; r < opt.Rounds; r++ {
 		for i, c := range configs {
 			before := metrics[i].ExaminedSnapshot()
 			res, err := shard.MeasureSharded(shard.ThroughputConfig{
-				Shards:   c.shards,
-				TotalOps: opt.Ops,
-				Stream:   stream,
-				Keys:     keys,
-				NewDemuxer: func(int) core.Demuxer {
-					return core.NewSequentHash(opt.Chains, hashfn.Multiplicative{})
-				},
-				Batch:    c.batch,
-				SteerKey: steerKey,
-				Metrics:  metrics[i],
+				Shards:     c.shards,
+				TotalOps:   opt.Ops,
+				Stream:     stream,
+				Keys:       keys,
+				NewDemuxer: sels[c.disc].PerShard(),
+				Batch:      c.batch,
+				SteerKey:   steerKey,
+				Metrics:    metrics[i],
 			})
 			if err != nil {
 				return nil, err
@@ -149,10 +181,9 @@ func runShard(opt options) (*shardReport, error) {
 
 	best := make(map[string]float64)
 	var sum shardSummary
-	for _, res := range results {
-		name := fmt.Sprintf("shards%d/%s", res.Shards, res.Mode)
-		best[name] = res.Best.LookupsPerSec
-		if res.Mode == "perpacket" {
+	for i, res := range results {
+		best[label(configs[i])] = res.Best.LookupsPerSec
+		if configs[i].disc == "sequent" && res.Mode == "perpacket" {
 			switch res.Shards {
 			case 1:
 				sum.ExaminedSingle = res.Best.MeanExamined
@@ -168,6 +199,9 @@ func runShard(opt options) (*shardReport, error) {
 		sum.ExaminedRatio4x = sum.ExaminedSingle / sum.ExaminedQuad
 	}
 	sum.MeetsQuad3x = sum.QuadOverSingle >= 3.0
+	if b := best["flat-hopscotch/shards1/perpacket"]; b > 0 {
+		sum.FlatQuadOverSingle = best["flat-hopscotch/shards4/perpacket"] / b
+	}
 
 	return &shardReport{
 		Benchmark:  "sharded multi-queue TPC/A sweep (shard.MeasureSharded)",
@@ -180,7 +214,8 @@ func runShard(opt options) (*shardReport, error) {
 			"totalOps": opt.Ops, "batch": opt.Batch,
 			"chains": opt.Chains, "rounds": opt.Rounds, "seed": opt.Seed,
 			"discipline": "sequent-multiplicative", "steering": "siphash-rss",
-			"shardSweep": shardCounts(opt.GoMaxProcs),
+			"disciplines": shardDisciplines,
+			"shardSweep":  shardCounts(opt.GoMaxProcs),
 		},
 		Results:   results,
 		Summary:   sum,

@@ -1,0 +1,47 @@
+// Command demuxload load-tests a running demuxd with real TCP
+// connections: N concurrent workers drive the TPC/A protocol on a seeded
+// mixed open/close/transaction schedule, verify every response byte for
+// byte against a client-side ledger oracle, and print a
+// latency/throughput report.
+//
+//	demuxload -addr 127.0.0.1:4821 -conns 1000 -txns 10 -reopens 1
+//
+// The process exits nonzero if any response failed verification (or any
+// dial/IO error occurred), so it doubles as a correctness check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcpdemux/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:4821", "demuxd address")
+		conns   = flag.Int("conns", 1000, "concurrent connections (workers)")
+		txns    = flag.Int("txns", 10, "transactions per worker (across its reopens)")
+		reopens = flag.Int("reopens", 1, "mid-schedule close+redial count per worker")
+		seed    = flag.Uint64("seed", 42, "schedule seed (same seed, same byte stream)")
+		barrier = flag.Bool("barrier", true, "hold first transactions until all connections are open")
+	)
+	flag.Parse()
+	rep, err := server.RunLoad(server.LoadConfig{
+		Addr:        *addr,
+		Conns:       *conns,
+		TxnsPerConn: *txns,
+		Reopens:     *reopens,
+		Seed:        *seed,
+		Barrier:     *barrier,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demuxload:", err)
+		os.Exit(2)
+	}
+	fmt.Println(rep.String())
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}

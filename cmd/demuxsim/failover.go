@@ -7,9 +7,8 @@ import (
 	"text/tabwriter"
 
 	"tcpdemux/internal/chaos"
-	"tcpdemux/internal/core"
+	"tcpdemux/internal/discipline"
 	"tcpdemux/internal/engine"
-	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/shard"
 	"tcpdemux/internal/wire"
 )
@@ -25,7 +24,10 @@ import (
 // (with a reason), or queued.
 func runFailover(out io.Writer, clients, txns, chains, shards int, seed uint64,
 	drop, dup float64, hashName, faultName string, failShard int, failAt, failFor float64) error {
-	hashFn, err := hashfn.ByName(hashName)
+	// Pinned to sequent per-shard tables like the sharded workload
+	// (BENCH_failover.json is defined over them), resolved through the
+	// shared selection helper.
+	sel, err := discipline.Select("sequent", hashName, chains)
 	if err != nil {
 		return err
 	}
@@ -66,15 +68,17 @@ func runFailover(out io.Writer, clients, txns, chains, shards int, seed uint64,
 	}
 	mkSet := func() (*shard.StackSet, error) {
 		return shard.NewStackSet(wire.MakeAddr(10, 0, 0, 1), shard.Config{
-			Shards: shards,
-			NewDemuxer: func(int) core.Demuxer {
-				return core.NewSequentHash(chains, hashFn)
-			},
-			Seed: seed,
+			Shards:     shards,
+			NewDemuxer: sel.PerShard(),
+			Seed:       seed,
 		})
 	}
 
-	baseline, err := engine.RunLossyExchange(core.NewSequentHash(chains, hashFn), mkCfg(nil))
+	base, err := sel.New()
+	if err != nil {
+		return err
+	}
+	baseline, err := engine.RunLossyExchange(base, mkCfg(nil))
 	if err != nil {
 		return err
 	}

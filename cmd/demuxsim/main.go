@@ -67,6 +67,7 @@ import (
 	"tcpdemux/internal/chaos"
 	"tcpdemux/internal/churn"
 	"tcpdemux/internal/core"
+	"tcpdemux/internal/discipline"
 	"tcpdemux/internal/engine"
 	"tcpdemux/internal/hashfn"
 	"tcpdemux/internal/overload"
@@ -176,10 +177,6 @@ func flagWasSet(name string) bool {
 // concurrent locking discipline and prints the measured rates — the
 // command-line face of the BenchmarkParallel/benchjson comparison.
 func runParallel(out io.Writer, names []string, users, txns, chains int, seed uint64, workers, ops, batch int, hashName string, reg *telemetry.Registry) error {
-	hashFn, err := hashfn.ByName(hashName)
-	if err != nil {
-		return err
-	}
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -204,7 +201,11 @@ func runParallel(out io.Writer, names []string, users, txns, chains int, seed ui
 	defer w.Flush()
 	fmt.Fprintln(w, "discipline\tns/op\tlookups/sec\tPCBs/pkt\tp50\tp90\tp99\thit-rate")
 	for _, name := range names {
-		inner, err := parallel.New(strings.TrimSpace(name), core.Config{Chains: chains, Hash: hashFn})
+		sel, err := discipline.SelectConcurrent(name, hashName, chains)
+		if err != nil {
+			return err
+		}
+		inner, err := sel.Concurrent()
 		if err != nil {
 			return err
 		}
@@ -235,16 +236,12 @@ func runParallel(out io.Writer, names []string, users, txns, chains int, seed ui
 
 // runReplay feeds a recorded trace through each named algorithm.
 func runReplay(out io.Writer, path string, algos []string, chains int, hashName string) error {
-	hashFn, err := hashfn.ByName(hashName)
-	if err != nil {
-		return err
-	}
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	defer w.Flush()
 	fmt.Fprintf(out, "replaying %s\n\n", path)
 	fmt.Fprintln(w, "algorithm\tconnections\tarrivals\tmean-examined\thit-rate")
 	for _, name := range algos {
-		d, err := core.New(strings.TrimSpace(name), core.Config{Chains: chains, Hash: hashFn})
+		d, err := newDemux(name, hashName, chains)
 		if err != nil {
 			return err
 		}
@@ -274,10 +271,6 @@ func runReplay(out io.Writer, path string, algos []string, chains int, hashName 
 // drop/duplicate wire, with retransmission and connection lifecycle run
 // entirely by the virtual-time timer wheel.
 func runLossy(out io.Writer, algos []string, clients, txns, chains int, seed uint64, drop, dup float64, hashName string) error {
-	hashFn, err := hashfn.ByName(hashName)
-	if err != nil {
-		return err
-	}
 	cfg := engine.LossyConfig{
 		Clients: clients,
 		Txns:    txns,
@@ -300,7 +293,7 @@ func runLossy(out io.Writer, algos []string, clients, txns, chains int, seed uin
 	defer w.Flush()
 	fmt.Fprintln(w, "algorithm\tcompleted\tdelivered\tdropped\tdup\tretransmits\taborts\tvtime\tmean-examined\thit-rate")
 	for _, name := range algos {
-		d, err := core.New(strings.TrimSpace(name), core.Config{Chains: chains, Hash: hashFn})
+		d, err := newDemux(name, hashName, chains)
 		if err != nil {
 			return err
 		}
@@ -329,7 +322,10 @@ func runLossy(out io.Writer, algos []string, clients, txns, chains int, seed uin
 // reliability plus the deterministic handler mean the bytes the
 // applications exchange cannot.
 func runSharded(out io.Writer, clients, txns, chains, max int, seed uint64, drop, dup float64, hashName string) error {
-	hashFn, err := hashfn.ByName(hashName)
+	// The multi-queue acceptance numbers (BENCH_shard/failover) are
+	// defined over sequent per-shard tables; the discipline is pinned
+	// but the selection still flows through the shared helper.
+	sel, err := discipline.Select("sequent", hashName, chains)
 	if err != nil {
 		return err
 	}
@@ -352,7 +348,11 @@ func runSharded(out io.Writer, clients, txns, chains, max int, seed uint64, drop
 			Server:         server,
 		}
 	}
-	baseline, err := engine.RunLossyExchange(core.NewSequentHash(chains, hashFn), mkCfg(nil))
+	base, err := sel.New()
+	if err != nil {
+		return err
+	}
+	baseline, err := engine.RunLossyExchange(base, mkCfg(nil))
 	if err != nil {
 		return err
 	}
@@ -376,11 +376,9 @@ func runSharded(out io.Writer, clients, txns, chains, max int, seed uint64, drop
 	fmt.Fprintln(w, "shards\tcompleted\tconformant\tbusy\tdelivered\tdropped\tdup\tretransmits\tvtime\tmean-examined\tsteered")
 	for _, n := range counts {
 		set, err := shard.NewStackSet(wire.MakeAddr(10, 0, 0, 1), shard.Config{
-			Shards: n,
-			NewDemuxer: func(int) core.Demuxer {
-				return core.NewSequentHash(chains, hashFn)
-			},
-			Seed: seed,
+			Shards:     n,
+			NewDemuxer: sel.PerShard(),
+			Seed:       seed,
 		})
 		if err != nil {
 			return err
@@ -680,12 +678,17 @@ func thinkDist(name string) (rng.Dist, error) {
 	}
 }
 
-func run(out io.Writer, workload string, algos []string, users int, resp, rtt float64, chains, txns int, seed uint64, record, hashName, thinkName string) error {
-	hashFn, err := hashfn.ByName(hashName)
+// newDemux resolves one -algos entry through the shared selection
+// helper and builds a fresh single-writer table.
+func newDemux(name, hashName string, chains int) (core.Demuxer, error) {
+	sel, err := discipline.Select(name, hashName, chains)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	dcfg := core.Config{Chains: chains, Hash: hashFn}
+	return sel.New()
+}
+
+func run(out io.Writer, workload string, algos []string, users int, resp, rtt float64, chains, txns int, seed uint64, record, hashName, thinkName string) error {
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	defer w.Flush()
 
@@ -708,7 +711,7 @@ func run(out io.Writer, workload string, algos []string, users int, resp, rtt fl
 			workload, users, resp, rtt, cfg.TPS(), chains, txns*users)
 		fmt.Fprintln(w, "algorithm\tmeasured\ttxn\tack\tmodel\thit-rate\tp50\tp95\tp99\tmax")
 		for i, name := range algos {
-			d, err := core.New(strings.TrimSpace(name), dcfg)
+			d, err := newDemux(name, hashName, chains)
 			if err != nil {
 				return err
 			}
@@ -762,7 +765,7 @@ func run(out io.Writer, workload string, algos []string, users int, resp, rtt fl
 			users, txns*users, chains)
 		fmt.Fprintln(w, "algorithm\tmean-examined\tpopulation\ttime-wait")
 		for _, name := range algos {
-			d, err := core.New(strings.TrimSpace(name), dcfg)
+			d, err := newDemux(name, hashName, chains)
 			if err != nil {
 				return err
 			}
@@ -778,7 +781,7 @@ func run(out io.Writer, workload string, algos []string, users int, resp, rtt fl
 		fmt.Fprintf(out, "workload=trains connections=%d segments=%d chains=%d\n\n", users, cfg.Segments, chains)
 		fmt.Fprintln(w, "algorithm\tmean-examined\thit-rate\ttrains")
 		for _, name := range algos {
-			d, err := core.New(strings.TrimSpace(name), dcfg)
+			d, err := newDemux(name, hashName, chains)
 			if err != nil {
 				return err
 			}

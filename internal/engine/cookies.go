@@ -122,7 +122,7 @@ func (s *Stack) sendCookieSynAck(seg *wire.Segment) {
 		return
 	}
 	s.tel.CookiesSent.Inc()
-	s.outbox = append(s.outbox, frame)
+	s.emit(frame)
 }
 
 // acceptCookieACK validates a pure ACK arriving at a listener against the

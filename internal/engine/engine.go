@@ -167,6 +167,10 @@ type Stack struct {
 	// OnAccept, if set, is invoked (with the lock held) when a passive
 	// open completes.
 	OnAccept func(*Conn)
+	// egress, when set via SetEgressTap, receives every outbound frame
+	// the instant it is queued, instead of the frame landing on the
+	// outbox for Drain. Invoked with the lock held; see SetEgressTap.
+	egress func(frame []byte)
 
 	// wheel and now are the stack's virtual-time lifecycle clock; see
 	// timers.go. Tick(now) advances them.
@@ -274,6 +278,29 @@ func (s *Stack) Drain() [][]byte {
 	return out
 }
 
+// SetEgressTap routes outbound frames to fn as they are produced instead
+// of queuing them on the outbox — the serving frontend's path, where a
+// frame's destination socket is known the moment the frame exists and a
+// Drain poll per delivery would rescan every shard. fn runs with the
+// stack lock held, so it must not call back into this Stack (or any
+// re-locking public method); append to a caller-owned queue and process
+// after Deliver/Tick returns. Passing nil restores outbox queuing.
+func (s *Stack) SetEgressTap(fn func(frame []byte)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.egress = fn
+}
+
+// emit hands one outbound frame to the egress tap, or queues it on the
+// outbox when no tap is installed. The caller holds s.mu.
+func (s *Stack) emit(frame []byte) {
+	if s.egress != nil {
+		s.egress(frame)
+		return
+	}
+	s.outbox = append(s.outbox, frame)
+}
+
 // send builds and queues one segment on pcb. SYN and FIN consume one
 // sequence number; data consumes its length. The caller holds s.mu.
 func (s *Stack) send(pcb *core.PCB, payload []byte, flags uint8) error {
@@ -311,7 +338,7 @@ func (s *Stack) send(pcb *core.PCB, payload []byte, flags uint8) error {
 		}
 	}
 	s.demux.NotifySend(pcb)
-	s.outbox = append(s.outbox, frame)
+	s.emit(frame)
 	return nil
 }
 
@@ -342,7 +369,7 @@ func (s *Stack) sendRST(seg *wire.Segment) {
 		tcp.Flags |= wire.FlagACK
 	}
 	if frame, err := wire.BuildSegment(ip, tcp, nil); err == nil {
-		s.outbox = append(s.outbox, frame)
+		s.emit(frame)
 	}
 }
 

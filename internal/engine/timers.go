@@ -142,7 +142,7 @@ func (s *Stack) PendingTimers() int {
 // requeueUnacked puts the connection's retained frame back on the outbox.
 // The caller holds s.mu.
 func (s *Stack) requeueUnacked(pcb *core.PCB, cd *connData) {
-	s.outbox = append(s.outbox, cd.unacked)
+	s.emit(cd.unacked)
 	pcb.TxSegments++
 	s.demux.NotifySend(pcb)
 }

@@ -1,0 +1,311 @@
+// The load generator behind cmd/demuxload and the loopback integration
+// test: N concurrent real TCP connections driving the TPC/A protocol on
+// a seeded mixed open/close/transaction schedule, with every response
+// verified byte-for-byte against a client-side ledger oracle.
+//
+// Verification works because each worker's branch, teller, and account
+// ids are private to that worker: the server serializes all transactions
+// through one shared ledger, but balances only depend on the deltas that
+// touched the same ids, so a worker can replay its own schedule against
+// a private Ledger and predict every response byte exactly — regardless
+// of how the server interleaves other connections' transactions.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"tcpdemux/internal/rng"
+)
+
+// LoadConfig parameterizes one load run.
+type LoadConfig struct {
+	// Addr is the server's kernel listen address. Required.
+	Addr string
+	// Conns is the number of concurrent connections (workers). Each
+	// worker holds its connection open across its whole schedule segment,
+	// so Conns is also the concurrency floor while the run is in flight.
+	Conns int
+	// TxnsPerConn is each worker's total transaction count across all of
+	// its connections.
+	TxnsPerConn int
+	// Reopens is how many times each worker closes its connection
+	// mid-schedule and dials a fresh one (the "mixed open/close" part of
+	// the schedule); 0 means one connection per worker.
+	Reopens int
+	// Seed drives every worker's schedule (accounts, deltas, reopen
+	// points) — same seed, same byte stream.
+	Seed uint64
+	// Barrier, when true, makes every worker dial and then wait until all
+	// Conns connections are open before the first transaction is sent —
+	// guaranteeing the server holds Conns live connections at once.
+	Barrier bool
+	// DialTimeout and IOTimeout bound each dial and each
+	// request/response round trip (defaults 10s and 30s).
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+}
+
+// LoadReport is one run's outcome: volume, verification, and latency.
+type LoadReport struct {
+	Conns    int     // workers
+	Opens    int     // connections dialed (== Conns * (Reopens+1) when clean)
+	Txns     int     // transactions completed and verified
+	Failures int     // byte mismatches, dial failures, IO errors
+	Elapsed  float64 // seconds, first dial to last response
+	TPS      float64 // Txns / Elapsed
+
+	// Latency percentiles over per-transaction round trips, in
+	// milliseconds.
+	P50, P90, P99, Max float64
+
+	BytesOut uint64 // request bytes written
+	BytesIn  uint64 // response bytes read and verified
+
+	// FirstError describes the first failure, for diagnostics.
+	FirstError string
+}
+
+// String renders the human latency/throughput report demuxload prints.
+func (r *LoadReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "conns=%d opens=%d txns=%d failures=%d elapsed=%.2fs\n",
+		r.Conns, r.Opens, r.Txns, r.Failures, r.Elapsed)
+	fmt.Fprintf(&b, "throughput  %.0f txn/s   (%d B out, %d B in)\n", r.TPS, r.BytesOut, r.BytesIn)
+	fmt.Fprintf(&b, "latency ms  p50=%.3f p90=%.3f p99=%.3f max=%.3f", r.P50, r.P90, r.P99, r.Max)
+	if r.FirstError != "" {
+		fmt.Fprintf(&b, "\nfirst error: %s", r.FirstError)
+	}
+	return b.String()
+}
+
+// loadWorker is one worker's accumulated outcome.
+type loadWorker struct {
+	opens     int
+	txns      int
+	failures  int
+	bytesOut  uint64
+	bytesIn   uint64
+	latencies []float64 // milliseconds
+	firstErr  string
+}
+
+func (w *loadWorker) fail(err string) {
+	w.failures++
+	if w.firstErr == "" {
+		w.firstErr = err
+	}
+}
+
+// RunLoad drives the full load schedule and returns the merged report.
+// It only returns an error for an unusable configuration; transaction
+// failures are reported, not fatal, so a partially-failing run still
+// yields its latency picture.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("loadgen: Addr is required")
+	}
+	if cfg.Conns <= 0 || cfg.TxnsPerConn <= 0 {
+		return nil, fmt.Errorf("loadgen: Conns and TxnsPerConn must be positive")
+	}
+	if cfg.Reopens < 0 {
+		cfg.Reopens = 0
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 30 * time.Second
+	}
+
+	workers := make([]loadWorker, cfg.Conns)
+	var barrier sync.WaitGroup
+	gate := make(chan struct{})
+	if cfg.Barrier {
+		barrier.Add(cfg.Conns)
+		go func() {
+			barrier.Wait()
+			close(gate)
+		}()
+	} else {
+		close(gate)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for u := 0; u < cfg.Conns; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			runWorker(u, cfg, &workers[u], &barrier, gate)
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := &LoadReport{Conns: cfg.Conns, Elapsed: elapsed}
+	var lats []float64
+	for i := range workers {
+		w := &workers[i]
+		rep.Opens += w.opens
+		rep.Txns += w.txns
+		rep.Failures += w.failures
+		rep.BytesOut += w.bytesOut
+		rep.BytesIn += w.bytesIn
+		if rep.FirstError == "" && w.firstErr != "" {
+			rep.FirstError = w.firstErr
+		}
+		lats = append(lats, w.latencies...)
+	}
+	if elapsed > 0 {
+		rep.TPS = float64(rep.Txns) / elapsed
+	}
+	sort.Float64s(lats)
+	if n := len(lats); n > 0 {
+		q := func(p float64) float64 {
+			i := int(p * float64(n))
+			if i >= n {
+				i = n - 1
+			}
+			return lats[i]
+		}
+		rep.P50, rep.P90, rep.P99, rep.Max = q(0.50), q(0.90), q(0.99), lats[n-1]
+	}
+	return rep, nil
+}
+
+// runWorker executes one worker's schedule: a private ledger oracle,
+// ids derived from the worker index (disjoint across workers), and a
+// seeded stream of transactions split across Reopens+1 connections.
+func runWorker(u int, cfg LoadConfig, w *loadWorker, barrier *sync.WaitGroup, gate <-chan struct{}) {
+	src := rng.New(cfg.Seed + uint64(u)*0x9e3779b97f4a7c15 + 1)
+	oracle := NewLedger()
+	branch := uint32(u)
+	teller := uint32(u)
+	const accountsPer = 8
+	baseAccount := uint32(u) * accountsPer
+
+	segments := cfg.Reopens + 1
+	per := cfg.TxnsPerConn / segments
+	extra := cfg.TxnsPerConn % segments
+
+	released := false
+	release := func() {
+		if cfg.Barrier && !released {
+			released = true
+			barrier.Done()
+		}
+	}
+	defer release()
+
+	line := make([]byte, 0, MaxLineLen)
+	for seg := 0; seg < segments; seg++ {
+		txns := per
+		if seg < extra {
+			txns++
+		}
+		if txns == 0 {
+			continue
+		}
+		conn, err := dialRetry(cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			w.fail(fmt.Sprintf("worker %d dial: %v", u, err))
+			release() // never hold the whole fleet hostage to one dial
+			return
+		}
+		w.opens++
+		if seg == 0 {
+			release()
+			<-gate // all Conns connections open before anyone transacts
+		}
+		rd := newLineReader(conn)
+		for t := 0; t < txns; t++ {
+			account := baseAccount + uint32(src.Intn(accountsPer))
+			delta := int64(src.Intn(1999) - 999)
+			req := FormatRequest(branch, teller, account, delta)
+			want := oracle.Expected(Req{Branch: branch, Teller: teller, Account: account, Delta: delta})
+
+			conn.SetDeadline(time.Now().Add(cfg.IOTimeout))
+			t0 := time.Now()
+			if _, err := conn.Write(req); err != nil {
+				w.fail(fmt.Sprintf("worker %d write: %v", u, err))
+				conn.Close()
+				return
+			}
+			line, err = rd.readLine(line[:0])
+			if err != nil {
+				w.fail(fmt.Sprintf("worker %d read: %v", u, err))
+				conn.Close()
+				return
+			}
+			w.latencies = append(w.latencies, float64(time.Since(t0).Microseconds())/1000)
+			w.bytesOut += uint64(len(req))
+			w.bytesIn += uint64(len(line))
+			if !bytes.Equal(line, want) {
+				w.fail(fmt.Sprintf("worker %d txn %d: got %q want %q", u, t, line, want))
+				conn.Close()
+				return
+			}
+			w.txns++
+		}
+		conn.Close()
+	}
+}
+
+// dialRetry dials with bounded retries: a synchronized 1000-connection
+// open can transiently overflow the kernel accept queue, which is
+// exactly the burst the retry absorbs.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		var c net.Conn
+		c, err = net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return c, nil
+		}
+		time.Sleep(time.Duration(10*(1<<attempt)) * time.Millisecond)
+	}
+	return nil, err
+}
+
+// lineReader reads newline-terminated responses without over-reading:
+// the protocol is strictly request/response per worker, so buffering
+// past the current line could swallow a later response's bytes into a
+// buffer a deadline reset would discard. One byte at a time over a
+// bufio-free loop would be slow; instead keep a private carry buffer.
+type lineReader struct {
+	c     net.Conn
+	carry []byte
+}
+
+func newLineReader(c net.Conn) *lineReader {
+	return &lineReader{c: c, carry: make([]byte, 0, 256)}
+}
+
+// readLine appends one full line (newline included) to dst and returns
+// it. Bytes beyond the newline are carried to the next call.
+func (r *lineReader) readLine(dst []byte) ([]byte, error) {
+	buf := make([]byte, 256)
+	for {
+		if i := bytes.IndexByte(r.carry, '\n'); i >= 0 {
+			dst = append(dst, r.carry[:i+1]...)
+			r.carry = append(r.carry[:0], r.carry[i+1:]...)
+			return dst, nil
+		}
+		n, err := r.c.Read(buf)
+		if n > 0 {
+			r.carry = append(r.carry, buf[:n]...)
+		}
+		if err != nil {
+			if err == io.EOF && bytes.IndexByte(r.carry, '\n') >= 0 {
+				continue
+			}
+			return dst, err
+		}
+	}
+}

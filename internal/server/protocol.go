@@ -1,0 +1,134 @@
+// The frontend's application layer: a newline-framed TPC/A transaction
+// protocol served over the engine's byte streams. One request debits or
+// credits an account and touches its teller and branch totals — the
+// paper's TPC/A workload made wire-real:
+//
+//	request:  TXN <branch> <teller> <account> <delta>\n
+//	response: OK <account> <accountBal> <tellerBal> <branchBal>\n
+//	          ERR <reason>\n
+//
+// Every id is a decimal uint32 and delta a decimal int64. Responses are
+// fully deterministic given the sequence of requests touching the same
+// ids: balances start at InitialBalance(id) and accumulate deltas. A
+// load generator that keeps its ids private to one connection can
+// therefore predict — and verify byte-for-byte — every response without
+// coordinating with other connections, while the server itself is
+// oblivious to that partitioning and serializes all transactions through
+// one ledger, exactly as a real TPC/A system would.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// ServicePort is the TPC/A service's port inside the synthetic stack,
+// matching internal/tpca's server endpoint. Real clients connect to the
+// kernel listener; the frontend bridges them to this port.
+const ServicePort = 1521
+
+// MaxLineLen bounds one request line (newline included). A connection
+// that exceeds it without producing a newline is violating the protocol
+// and is shed rather than allowed to grow an unbounded reassembly
+// buffer.
+const MaxLineLen = 256
+
+// Req is one parsed TPC/A transaction request.
+type Req struct {
+	Branch  uint32
+	Teller  uint32
+	Account uint32
+	Delta   int64
+}
+
+// InitialBalance is the deterministic opening balance of any account,
+// teller, or branch id — a Knuth-multiplicative spread so balances look
+// varied without any per-id state existing before its first transaction.
+func InitialBalance(id uint32) int64 {
+	return int64(uint64(id) * 2654435761 % 1_000_000)
+}
+
+// FormatRequest renders one request line, newline included.
+func FormatRequest(branch, teller, account uint32, delta int64) []byte {
+	return []byte(fmt.Sprintf("TXN %d %d %d %d\n", branch, teller, account, delta))
+}
+
+// FormatResponse renders the success response line, newline included.
+func FormatResponse(account uint32, accountBal, tellerBal, branchBal int64) []byte {
+	return []byte(fmt.Sprintf("OK %d %d %d %d\n", account, accountBal, tellerBal, branchBal))
+}
+
+// FormatError renders the error response line, newline included.
+func FormatError(reason string) []byte {
+	return []byte("ERR " + reason + "\n")
+}
+
+// ParseRequest parses one request line (no trailing newline).
+func ParseRequest(line []byte) (Req, error) {
+	fields := bytes.Fields(line)
+	if len(fields) != 5 || !bytes.Equal(fields[0], []byte("TXN")) {
+		return Req{}, fmt.Errorf("want TXN <branch> <teller> <account> <delta>, got %d field(s)", len(fields))
+	}
+	ids := make([]uint32, 3)
+	for i := 0; i < 3; i++ {
+		v, err := strconv.ParseUint(string(fields[i+1]), 10, 32)
+		if err != nil {
+			return Req{}, fmt.Errorf("bad id %q", fields[i+1])
+		}
+		ids[i] = uint32(v)
+	}
+	delta, err := strconv.ParseInt(string(fields[4]), 10, 64)
+	if err != nil {
+		return Req{}, fmt.Errorf("bad delta %q", fields[4])
+	}
+	return Req{Branch: ids[0], Teller: ids[1], Account: ids[2], Delta: delta}, nil
+}
+
+// Ledger is the TPC/A balance state: accounts, tellers, and branches,
+// each id's balance materialized at first touch from InitialBalance.
+// It has no internal locking — the server applies every transaction from
+// its engine-loop goroutine, and a load generator's private ledger is
+// confined to its worker.
+type Ledger struct {
+	accounts map[uint32]int64
+	tellers  map[uint32]int64
+	branches map[uint32]int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		accounts: make(map[uint32]int64),
+		tellers:  make(map[uint32]int64),
+		branches: make(map[uint32]int64),
+	}
+}
+
+func touch(m map[uint32]int64, id uint32, delta int64) int64 {
+	bal, ok := m[id]
+	if !ok {
+		bal = InitialBalance(id)
+	}
+	bal += delta
+	m[id] = bal
+	return bal
+}
+
+// Apply commits one transaction and returns the resulting balances.
+func (l *Ledger) Apply(r Req) (accountBal, tellerBal, branchBal int64) {
+	accountBal = touch(l.accounts, r.Account, r.Delta)
+	tellerBal = touch(l.tellers, r.Teller, r.Delta)
+	branchBal = touch(l.branches, r.Branch, r.Delta)
+	return
+}
+
+// Expected computes the response a request must produce against this
+// ledger — Apply plus FormatResponse, the load generator's oracle.
+func (l *Ledger) Expected(r Req) []byte {
+	a, t, b := l.Apply(r)
+	return FormatResponse(r.Account, a, t, b)
+}
+
+// Size returns the number of distinct account ids touched.
+func (l *Ledger) Size() int { return len(l.accounts) }

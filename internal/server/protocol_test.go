@@ -1,0 +1,69 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestProtocolRoundTrip(t *testing.T) {
+	req := FormatRequest(3, 7, 42, -250)
+	if req[len(req)-1] != '\n' {
+		t.Fatalf("request not newline-terminated: %q", req)
+	}
+	parsed, err := ParseRequest(req[:len(req)-1])
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	want := Req{Branch: 3, Teller: 7, Account: 42, Delta: -250}
+	if parsed != want {
+		t.Fatalf("round trip: got %+v want %+v", parsed, want)
+	}
+}
+
+func TestProtocolParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "TXN", "TXN 1 2 3", "TXN 1 2 3 4 5", "GET 1 2 3 4",
+		"TXN x 2 3 4", "TXN 1 2 3 nope", "TXN -1 2 3 4",
+		"TXN 4294967296 2 3 4",
+	} {
+		if _, err := ParseRequest([]byte(bad)); err == nil {
+			t.Errorf("ParseRequest(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func TestLedgerDeterministic(t *testing.T) {
+	a, b := NewLedger(), NewLedger()
+	reqs := []Req{
+		{Branch: 1, Teller: 2, Account: 3, Delta: 100},
+		{Branch: 1, Teller: 2, Account: 3, Delta: -40},
+		{Branch: 9, Teller: 9, Account: 9, Delta: 5},
+	}
+	for _, r := range reqs {
+		ra := a.Expected(r)
+		rb := b.Expected(r)
+		if !bytes.Equal(ra, rb) {
+			t.Fatalf("ledger divergence on %+v: %q vs %q", r, ra, rb)
+		}
+	}
+	// Balances accumulate from the deterministic opening balance.
+	wantBal := InitialBalance(3) + 100 - 40
+	got, _, _ := a.Apply(Req{Branch: 1, Teller: 2, Account: 3, Delta: 0})
+	if got != wantBal {
+		t.Fatalf("account 3 balance: got %d want %d", got, wantBal)
+	}
+}
+
+func TestLedgerIndependentIds(t *testing.T) {
+	// Transactions on other ids must not disturb a worker's private ids —
+	// the property that makes concurrent byte-for-byte verification sound.
+	solo, mixed := NewLedger(), NewLedger()
+	mine := Req{Branch: 1, Teller: 1, Account: 10, Delta: 7}
+	other := Req{Branch: 2, Teller: 2, Account: 20, Delta: 9999}
+	mixed.Apply(other)
+	a := solo.Expected(mine)
+	b := mixed.Expected(mine)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("foreign ids disturbed private balances: %q vs %q", a, b)
+	}
+}

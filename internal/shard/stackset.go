@@ -235,6 +235,41 @@ func (set *StackSet) SetTelemetry(reg *telemetry.Registry) {
 	}
 }
 
+// SetEgressTap fans an egress tap out to every shard Stack: outbound
+// frames are handed to fn the instant they are produced instead of
+// queuing on the per-shard outboxes for Drain — the serving frontend's
+// path, which would otherwise rescan every shard's outbox per delivery.
+// fn runs with the producing shard's stack lock held, so it must not
+// call back into the set (append to a caller-owned queue and process
+// after Deliver/Tick returns). Passing nil restores Drain queuing.
+func (set *StackSet) SetEgressTap(fn func(frame []byte)) {
+	for _, s := range set.shards {
+		s.SetEgressTap(fn)
+	}
+}
+
+// Release drops a closed connection's claim and frees its directory
+// slot. The engine tears PCBs down on its own; claims are swept lazily
+// by Rekey, which a long-running server may never call — a serving
+// frontend instead calls Release when a session ends so the claims
+// table and directory track the live population. Releasing a key with
+// no claim is a no-op, and a late frame for the released tuple simply
+// re-steers by hash (finding no PCB there).
+//
+// Like Rekey, Release is control-plane: call it from the same goroutine
+// that drives Deliver/Tick, not concurrently with them.
+func (set *StackSet) Release(key core.Key) {
+	set.claimMu.Lock()
+	cl, ok := set.claims[key]
+	if ok {
+		delete(set.claims, key)
+	}
+	set.claimMu.Unlock()
+	if ok && cl.id >= 0 {
+		set.dir.Release(cl.id, cl.gen, cl.owner)
+	}
+}
+
 // registerAccept records a freshly accepted connection's directory claim.
 // Called from the owning shard's OnAccept hook (shard lock held), so it
 // touches only the leaf claim lock.

@@ -1,6 +1,6 @@
 // Runtime exposition over HTTP: a handler serving the Prometheus and
-// JSON writers from a snapshot source, and a tiny server wrapper for
-// demuxsim's -metrics flag.
+// JSON writers from a snapshot source, and a small server wrapper with
+// graceful shutdown for the long-running binaries' -metrics flags.
 //
 // This file deliberately touches no virtual time — net/http lives on
 // the wall clock, and the telemetry package sits outside the simulator's
@@ -8,6 +8,7 @@
 package telemetry
 
 import (
+	"context"
 	"net"
 	"net/http"
 )
@@ -30,15 +31,53 @@ func Handler(src func() Snapshot) http.Handler {
 	return mux
 }
 
-// Serve starts an HTTP exposition server on addr (host:port; port 0
-// picks a free port). It returns the bound address and a close function
-// that shuts the listener down.
-func Serve(addr string, src func() Snapshot) (bound string, close func() error, err error) {
+// MetricsServer is a running HTTP exposition endpoint. Unlike the
+// original Serve helper, whose close function abruptly dropped in-flight
+// scrapes (http.Server.Close), a MetricsServer shuts down gracefully:
+// Shutdown stops accepting, lets in-flight scrapes finish writing, and
+// only then returns — so a SIGTERM during a Prometheus scrape does not
+// truncate the exposition mid-body.
+type MetricsServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// StartServer begins serving the exposition endpoint on addr (host:port;
+// port 0 picks a free port).
+func StartServer(addr string, src func() Snapshot) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	srv := &http.Server{Handler: Handler(src)}
 	go srv.Serve(ln)
-	return ln.Addr().String(), func() error { return srv.Close() }, nil
+	return &MetricsServer{srv: srv, addr: ln.Addr().String()}, nil
+}
+
+// Addr returns the bound listen address.
+func (m *MetricsServer) Addr() string { return m.addr }
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight scrapes run to completion, and the call returns when all
+// handlers have finished or ctx expires (in which case the remaining
+// connections are dropped, and ctx's error is returned).
+func (m *MetricsServer) Shutdown(ctx context.Context) error {
+	return m.srv.Shutdown(ctx)
+}
+
+// Close abruptly stops the server, dropping in-flight scrapes. Prefer
+// Shutdown outside tests.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// Serve starts an HTTP exposition server on addr and returns the bound
+// address and a close function that abruptly shuts the listener down.
+// It remains for callers that hold the endpoint open until process exit
+// (demuxsim's -metrics); long-running servers should use StartServer and
+// Shutdown for a graceful stop.
+func Serve(addr string, src func() Snapshot) (bound string, close func() error, err error) {
+	m, err := StartServer(addr, src)
+	if err != nil {
+		return "", nil, err
+	}
+	return m.Addr(), m.Close, nil
 }

@@ -514,3 +514,57 @@ func (m *OverloadMetrics) ObserveChains(lengths []int64) {
 	mean := float64(pop) / float64(len(lengths))
 	m.ChainSkew.Set(float64(max) / mean)
 }
+
+// ServerMetrics is the real-socket frontend's instrument bundle: the
+// connection conservation ledger (every accepted kernel connection ends
+// in exactly one of served, shed, or shutdown-drained, so
+// server_accepted_total == served + shed + drained once the server has
+// stopped), the live-connection gauge, and the transaction/byte volume
+// counters. Shed is per-reason, mirroring the shard layer's
+// shard_shed_total{reason} family one level up: the frontend sheds
+// connections (a slow consumer's write queue overflowing, a socket
+// error, a protocol violation) where the shard layer sheds frames.
+type ServerMetrics struct {
+	Accepted *Counter
+	Active   *Gauge
+	Served   *Counter
+	Drained  *Counter
+
+	// Per-reason connection sheds (server_shed_total{reason=...}).
+	ShedWriteBacklog *Counter
+	ShedSocketError  *Counter
+	ShedProtocol     *Counter
+	ShedHandshake    *Counter
+	ShedEngineReset  *Counter
+
+	Txns     *Counter
+	BadTxns  *Counter
+	BytesIn  *Counter
+	BytesOut *Counter
+	// FramesSynth counts wire frames the frontend synthesized into the
+	// StackSet (SYN/ACK/data/FIN/RST) — the bridge's ingress volume.
+	FramesSynth *Counter
+}
+
+// NewServerMetrics registers the frontend metric family on r.
+func NewServerMetrics(r *Registry) *ServerMetrics {
+	shed := func(reason string) *Counter {
+		return r.Counter("server_shed_total", L("reason", reason))
+	}
+	return &ServerMetrics{
+		Accepted:         r.Counter("server_accepted_total"),
+		Active:           r.Gauge("server_active_connections"),
+		Served:           r.Counter("server_served_total"),
+		Drained:          r.Counter("server_drained_total"),
+		ShedWriteBacklog: shed("write-backlog"),
+		ShedSocketError:  shed("socket-error"),
+		ShedProtocol:     shed("protocol"),
+		ShedHandshake:    shed("handshake"),
+		ShedEngineReset:  shed("engine-reset"),
+		Txns:             r.Counter("server_txns_total"),
+		BadTxns:          r.Counter("server_bad_txns_total"),
+		BytesIn:          r.Counter("server_bytes_in_total"),
+		BytesOut:         r.Counter("server_bytes_out_total"),
+		FramesSynth:      r.Counter("server_frames_synthesized_total"),
+	}
+}
